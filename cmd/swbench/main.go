@@ -1,0 +1,85 @@
+// Command swbench regenerates every figure and in-text table of the
+// paper's evaluation (Section V) from the simulated heterogeneous system.
+//
+// Usage:
+//
+//	swbench [-fig all|fig3|fig4|fig5|fig6|fig7|fig8|eff|sched|power|transfer]
+//	        [-scale 1.0] [-csv] [-summary] [-o out.txt]
+//
+// By default the full 541,561-sequence synthetic Swiss-Prot is simulated
+// (fast: the device models consume shape information only; see DESIGN.md).
+// GCUPS values are simulated-device throughput; run cmd/swverify or the
+// examples for functional (wall-clock) execution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"heterosw/internal/figures"
+	"heterosw/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: all, fig3..fig8, eff, sched, power, transfer")
+		scale   = flag.Float64("scale", 1.0, "database scale relative to Swiss-Prot 2013_11 (541,561 sequences)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		summary = flag.Bool("summary", false, "one line per figure (best value per series)")
+		outPath = flag.String("o", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	start := time.Now()
+	w := figures.NewWorkload(*scale)
+	fmt.Fprintf(out, "# swbench: %s\n", w)
+	fmt.Fprintf(out, "# devices: Xeon (16c/32t, 256-bit) + Xeon Phi (60c/240t, 512-bit); BLOSUM62, gaps 10/2\n")
+	fmt.Fprintf(out, "# GCUPS below are simulated-device throughput (see DESIGN.md section 6)\n\n")
+
+	var figs []*figures.Figure
+	if *fig == "all" {
+		figs = figures.All(w)
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			f, err := figures.ByID(w, strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			figs = append(figs, f)
+		}
+	}
+	for _, f := range figs {
+		var err error
+		switch {
+		case *summary:
+			err = report.Summary(out, f)
+		case *csv:
+			err = report.CSV(out, f)
+		default:
+			err = report.Table(out, f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(out, "# generated in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command swgen writes the synthetic Swiss-Prot stand-in database (and
+// optionally the paper's 20 benchmark queries) as FASTA files, so external
+// tools — or this library reading real data paths — can consume them.
+//
+// Usage:
+//
+//	swgen -scale 0.01 -o db.fasta [-queries queries.fasta] [-plant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heterosw"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "database scale relative to Swiss-Prot 2013_11 (541,561 sequences)")
+		outPath = flag.String("o", "db.fasta", "output database FASTA path")
+		qPath   = flag.String("queries", "", "also write the 20 paper queries to this FASTA path")
+		plant   = flag.Bool("plant", true, "plant the paper queries inside the database (guarantees perfect hits)")
+	)
+	flag.Parse()
+
+	db, queries := heterosw.SyntheticSwissProt(*scale, *plant)
+	seqs := make([]heterosw.Sequence, db.Len())
+	for i := range seqs {
+		seqs[i] = db.Seq(i)
+	}
+	if err := heterosw.WriteFASTAFile(*outPath, seqs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *outPath, db)
+	if *qPath != "" {
+		if len(queries) == 0 {
+			// -plant=false still allows emitting queries.
+			_, queries = heterosw.SyntheticSwissProt(0.0001, true)
+		}
+		if err := heterosw.WriteFASTAFile(*qPath, queries); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d paper queries (lengths %v)\n", *qPath, len(queries), heterosw.PaperQueryLengths())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command swsearch runs a Smith-Waterman protein database search: the
+// paper's Algorithm 1 (single device) or Algorithm 2 (heterogeneous
+// CPU+Phi), printing the top hits with optional alignments.
+//
+// Usage:
+//
+//	swsearch -db db.fasta -query q.fasta [flags]
+//	swsearch -synthetic 0.01 -queryindex 3 [flags]
+//
+// Flags select the kernel variant, device model, thread count, scheduling
+// policy, substitution matrix and gap penalties; see -help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heterosw"
+)
+
+func main() {
+	var (
+		dbPath     = flag.String("db", "", "database FASTA file")
+		queryPath  = flag.String("query", "", "query FASTA file (first record is searched unless -queryindex)")
+		synthetic  = flag.Float64("synthetic", 0, "use a synthetic Swiss-Prot database at this scale instead of -db")
+		queryIndex = flag.Int("queryindex", 0, "index of the query record (within -query, or among the 20 paper queries with -synthetic)")
+		hetero     = flag.Bool("hetero", false, "run the heterogeneous CPU+Phi search (Algorithm 2)")
+		phiShare   = flag.Float64("phishare", 0.55, "fraction of the database offloaded to the Phi with -hetero")
+		device     = flag.String("device", "xeon", "device model: xeon or phi")
+		variant    = flag.String("variant", "intrinsic-SP", "kernel variant: no-vec-QP, no-vec-SP, simd-QP, simd-SP, intrinsic-QP, intrinsic-SP")
+		matrix     = flag.String("matrix", "BLOSUM62", "substitution matrix: BLOSUM45/50/62/80, PAM250")
+		gapOpen    = flag.Int("gapopen", 10, "gap open penalty q (gap of length x costs q + r*x)")
+		gapExtend  = flag.Int("gapextend", 2, "gap extension penalty r")
+		threads    = flag.Int("threads", 0, "simulated device threads (0 = device maximum)")
+		schedule   = flag.String("schedule", "dynamic", "OpenMP loop policy: static, dynamic, guided")
+		noBlock    = flag.Bool("noblocking", false, "disable the cache-blocking optimisation")
+		topK       = flag.Int("top", 10, "number of hits to print")
+		showAlign  = flag.Int("align", 0, "print full alignments for the first N hits")
+	)
+	flag.Parse()
+
+	var (
+		db      *heterosw.Database
+		queries []heterosw.Sequence
+		err     error
+	)
+	switch {
+	case *synthetic > 0:
+		db, queries = heterosw.SyntheticSwissProt(*synthetic, true)
+	case *dbPath != "":
+		seqs, rerr := heterosw.ReadFASTAFile(*dbPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		db, err = heterosw.NewDatabase(seqs)
+		if err != nil {
+			fatal(err)
+		}
+		if *queryPath == "" {
+			fatal(fmt.Errorf("-query is required with -db"))
+		}
+		queries, err = heterosw.ReadFASTAFile(*queryPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("provide -db/-query or -synthetic; see -help"))
+	}
+	if *queryIndex < 0 || *queryIndex >= len(queries) {
+		fatal(fmt.Errorf("query index %d outside [0,%d)", *queryIndex, len(queries)))
+	}
+	query := queries[*queryIndex]
+
+	opt := heterosw.Options{
+		Device:    heterosw.DeviceKind(*device),
+		Variant:   *variant,
+		Matrix:    *matrix,
+		GapOpen:   *gapOpen,
+		GapExtend: *gapExtend,
+		Threads:   *threads,
+		Schedule:  *schedule,
+		TopK:      *topK,
+	}
+	opt.NoBlocking = *noBlock
+
+	fmt.Printf("database: %s\n", db)
+	fmt.Printf("query:    %s (%d aa)\n", query.ID(), query.Len())
+
+	start := time.Now()
+	var res *heterosw.Result
+	if *hetero {
+		hres, herr := db.SearchHetero(query, heterosw.HeteroOptions{Options: opt, PhiShare: *phiShare})
+		if herr != nil {
+			fatal(herr)
+		}
+		fmt.Printf("hetero:   CPU %.0f%% / Phi %.0f%% of residues; CPU %.3fs, Phi %.3fs (simulated)\n",
+			hres.CPUShare*100, hres.PhiShare*100, hres.CPUSeconds, hres.PhiSeconds)
+		res = &hres.Result
+	} else {
+		res, err = db.Search(query, opt)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("performance: %.2f GCUPS simulated (%.4fs on model), %.3f GCUPS wall (%v real)\n",
+		res.SimGCUPS, res.SimSeconds, res.WallGCUPS, elapsed.Round(time.Millisecond))
+	fmt.Printf("cells: %d, simulated threads: %d, overflow escalations: %d\n\n",
+		res.Cells, res.Threads, res.Overflows)
+
+	fmt.Printf("%4s %-16s %7s\n", "#", "subject", "score")
+	for i, h := range res.Hits {
+		fmt.Printf("%4d %-16s %7d\n", i+1, h.ID, h.Score)
+	}
+	for i := 0; i < *showAlign && i < len(res.Hits); i++ {
+		h := res.Hits[i]
+		al, aerr := heterosw.Align(query, db.Seq(h.Index), heterosw.AlignOptions{
+			Matrix: *matrix, GapOpen: *gapOpen, GapExtend: *gapExtend,
+		})
+		if aerr != nil {
+			fatal(aerr)
+		}
+		fmt.Printf("\n>%s (CIGAR %s)\n%s", h.ID, al.CIGAR(), al.Format(60))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swsearch:", err)
+	os.Exit(1)
+}

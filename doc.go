@@ -1,0 +1,35 @@
+// Package heterosw is a Smith-Waterman protein database search library for
+// heterogeneous systems, reproducing Rucci et al., "Smith-Waterman
+// Algorithm on Heterogeneous Systems: A Case Study" (IEEE CLUSTER 2014).
+//
+// The library provides:
+//
+//   - exact local alignment (Smith-Waterman with affine gaps) with
+//     traceback for pairwise use — see Align, Score and ScoreBanded;
+//   - a parallel database-search engine with the paper's six kernel
+//     variants ({no-vec, guided-simd, intrinsic} x {query profile, score
+//     profile}), cache blocking, 16-bit saturating arithmetic with 32-bit
+//     overflow escalation, and intra-task handling of extremely long
+//     subjects — see Database.Search;
+//   - the heterogeneous CPU+coprocessor execution of the paper's
+//     Algorithm 2, with a static workload split and overlapped offload —
+//     see Database.SearchHetero;
+//   - deterministic performance models of the paper's two devices (dual
+//     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
+//     alongside the real wall-clock throughput of the pure-Go kernels;
+//   - a synthetic Swiss-Prot workload generator matching the statistics of
+//     the paper's benchmark database, plus FASTA I/O for real data.
+//
+// # Quick start
+//
+//	db, queries := heterosw.SyntheticSwissProt(0.01, true)
+//	res, err := db.Search(queries[0], heterosw.Options{TopK: 10})
+//	if err != nil { ... }
+//	for _, h := range res.Hits {
+//	    fmt.Println(h.ID, h.Score)
+//	}
+//
+// The cmd/swbench tool regenerates every figure of the paper's evaluation;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison.
+package heterosw

@@ -1,0 +1,78 @@
+// Scaling studies the two levers the paper identifies as essential for
+// heterogeneous Smith-Waterman throughput — thread-level parallelism and
+// the OpenMP scheduling policy — using the functional engine and the
+// simulated device models side by side.
+//
+// Run with: go run ./examples/scaling [-scale 0.005]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"heterosw"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.005, "database scale relative to Swiss-Prot")
+	flag.Parse()
+
+	db, queries := heterosw.SyntheticSwissProt(*scale, true)
+	query := queries[10] // 1500 residues
+	fmt.Println("database:", db)
+	fmt.Printf("query:    %s (%d aa)\n", query.ID(), query.Len())
+
+	fmt.Println("\n-- thread scaling (intrinsic-SP, dynamic schedule, simulated devices) --")
+	fmt.Printf("%8s %16s %16s\n", "threads", "xeon GCUPS", "phi GCUPS")
+	phiThreads := map[int]int{1: 30, 2: 60, 4: 120, 8: 180, 16: 240, 32: 240}
+	for _, t := range []int{1, 2, 4, 8, 16, 32} {
+		xeon, err := db.Search(query, heterosw.Options{Threads: t})
+		if err != nil {
+			log.Fatal(err)
+		}
+		phi, err := db.Search(query, heterosw.Options{Device: heterosw.DevicePhi, Threads: phiThreads[t]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %16.2f %11.2f@%dT\n", t, xeon.SimGCUPS, phi.SimGCUPS, phiThreads[t])
+	}
+
+	fmt.Println("\n-- scheduling policy (intrinsic-SP, Xeon 32T) --")
+	fmt.Printf("%10s %14s %14s\n", "policy", "sorted db", "unsorted db")
+	seqs := make([]heterosw.Sequence, db.Len())
+	for i := range seqs {
+		seqs[i] = db.Seq(i)
+	}
+	unsortedDB, err := heterosw.NewDatabaseUnsorted(seqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, policy := range []string{"static", "dynamic", "guided"} {
+		a, err := db.Search(query, heterosw.Options{Schedule: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := unsortedDB.Search(query, heterosw.Options{Schedule: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10s %14.2f %14.2f\n", policy, a.SimGCUPS, b.SimGCUPS)
+	}
+	fmt.Println("\npaper: dynamic outperforms static significantly; guided is slightly behind dynamic;")
+	fmt.Println("pre-sorting the database by length keeps lane groups tight and the schedule balanced.")
+
+	fmt.Println("\n-- kernel variants (Xeon 32T vs Phi 240T, simulated) --")
+	fmt.Printf("%14s %12s %12s %14s\n", "variant", "xeon", "phi", "host wall GCUPS")
+	for _, v := range heterosw.Variants() {
+		x, err := db.Search(query, heterosw.Options{Variant: v})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := db.Search(query, heterosw.Options{Variant: v, Device: heterosw.DevicePhi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14s %12.2f %12.2f %14.3f\n", v, x.SimGCUPS, p.SimGCUPS, x.WallGCUPS)
+	}
+}

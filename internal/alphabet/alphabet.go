@@ -1,0 +1,109 @@
+// Package alphabet defines the amino-acid alphabet used throughout the
+// Smith-Waterman engine and the compact residue encoding shared by
+// sequences, substitution matrices and alignment kernels.
+//
+// Residues are stored as small integer codes (type Code) so that profile
+// tables can be indexed directly without byte-to-index translation in inner
+// loops. The alphabet matches the 24-letter NCBI protein alphabet used by
+// BLOSUM and PAM matrices: the 20 standard amino acids, the ambiguity codes
+// B (Asx), Z (Glx) and X (unknown), and the stop/terminator '*'.
+package alphabet
+
+import "fmt"
+
+// Code is the compact integer encoding of a residue. Valid codes are in
+// [0, Size). The zero value encodes 'A'.
+type Code uint8
+
+// Size is the number of distinct residue codes in the protein alphabet.
+const Size = 24
+
+// Letters lists the alphabet in code order: Letters[c] is the byte for
+// Code c. The ordering matches NCBI's NCBIstdaa-derived ordering used by
+// textual BLOSUM matrices, which keeps matrix parsing straightforward.
+const Letters = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+// Unknown is the code for the ambiguity residue 'X'. Invalid input bytes
+// decode to Unknown rather than failing, mirroring common search-tool
+// behaviour for stray characters in FASTA data.
+const Unknown Code = 22
+
+// codeOf maps an ASCII byte to its residue code, or -1 if the byte is not a
+// valid residue letter.
+var codeOf [256]int8
+
+func init() {
+	for i := range codeOf {
+		codeOf[i] = -1
+	}
+	for c := 0; c < Size; c++ {
+		upper := Letters[c]
+		codeOf[upper] = int8(c)
+		if upper >= 'A' && upper <= 'Z' {
+			codeOf[upper+'a'-'A'] = int8(c) // accept lower case
+		}
+	}
+	// Accept U (selenocysteine) and O (pyrrolysine) as X: they occur in
+	// Swiss-Prot but have no BLOSUM column.
+	for _, b := range []byte{'U', 'u', 'O', 'o', 'J', 'j'} {
+		codeOf[b] = int8(Unknown)
+	}
+}
+
+// Encode returns the residue code for an ASCII letter and whether the letter
+// is a recognised residue. Unrecognised letters return (Unknown, false).
+func Encode(b byte) (Code, bool) {
+	if c := codeOf[b]; c >= 0 {
+		return Code(c), true
+	}
+	return Unknown, false
+}
+
+// MustEncode returns the residue code for b, mapping any unrecognised byte
+// to Unknown.
+func MustEncode(b byte) Code {
+	c, _ := Encode(b)
+	return c
+}
+
+// Decode returns the ASCII letter for a residue code. It panics if the code
+// is out of range, since codes are produced only by this package.
+func Decode(c Code) byte {
+	if int(c) >= Size {
+		panic(fmt.Sprintf("alphabet: code %d out of range", c))
+	}
+	return Letters[c]
+}
+
+// EncodeAll encodes an ASCII residue string into a fresh code slice.
+// Unrecognised bytes become Unknown.
+func EncodeAll(s []byte) []Code {
+	out := make([]Code, len(s))
+	for i, b := range s {
+		out[i] = MustEncode(b)
+	}
+	return out
+}
+
+// DecodeAll renders a code slice as an ASCII residue string.
+func DecodeAll(cs []Code) []byte {
+	out := make([]byte, len(cs))
+	for i, c := range cs {
+		out[i] = Decode(c)
+	}
+	return out
+}
+
+// Valid reports whether every byte of s is a recognised residue letter.
+func Valid(s []byte) bool {
+	for _, b := range s {
+		if codeOf[b] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStandard reports whether c is one of the 20 standard amino acids
+// (i.e. not B, Z, X or *).
+func IsStandard(c Code) bool { return c < 20 }

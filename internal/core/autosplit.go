@@ -1,0 +1,92 @@
+package core
+
+import (
+	"heterosw/internal/device"
+	"heterosw/internal/offload"
+	"heterosw/internal/sched"
+	"heterosw/internal/seqdb"
+)
+
+// estimateSeconds predicts the simulated completion time of a search over
+// a database with the given sequence lengths on one device, using the same
+// cost pipeline as Engine.Search but without executing kernels. It powers
+// the model-driven workload-distribution strategy.
+func estimateSeconds(lengths []int, m int, dev *device.Model, opt SearchOptions) float64 {
+	if len(lengths) == 0 || m == 0 {
+		return 0
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = dev.MaxThreads()
+	}
+	class := opt.Params.KernelClass()
+	lanes := dev.Lanes
+	longThr := opt.LongSeqThreshold
+	switch {
+	case longThr < 0 || class.Scalar:
+		longThr = 0
+		if class.Scalar {
+			lanes = 1
+		}
+	case longThr == 0:
+		longThr = DefaultLongSeqThreshold
+	}
+	shapes := seqdb.PackShapes(lengths, lanes, true, longThr)
+	coeffs := dev.Coeffs(class, m, lanes, threads)
+	intra := dev.IntraCoeffs(m)
+	costs := make([]float64, len(shapes))
+	var residues int64
+	for i, s := range shapes {
+		if s.Intra {
+			costs[i] = intra.Cost(s)
+		} else {
+			costs[i] = coeffs.Cost(s)
+		}
+		residues += s.Residues
+	}
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = 1
+	}
+	sim := sched.Simulate(costs, threads, opt.Schedule, chunk, dev.DispatchCycles)
+	seconds := dev.Seconds(sim.Makespan, threads)
+	if dev.OffloadRequired {
+		in := offload.QueryBytes(m) + offload.DatabaseBytes(residues, len(lengths))
+		out := offload.ScoreBytes(len(lengths))
+		seconds = offload.RegionSeconds(dev, in, out, seconds)
+	}
+	return seconds + device.HostSortSeconds(len(lengths))
+}
+
+// OptimalMICShare computes a model-driven workload distribution for
+// Algorithm 2 — the "other workload distribution strategies" the paper
+// proposes as future work. Both devices are simulated on the full
+// database; since completion time is close to linear in the residue share,
+// the balance point is tCPU / (tCPU + tMIC). The result is clamped to
+// [0, 1].
+func OptimalMICShare(db *seqdb.Database, queryLen int, opt SearchOptions, cpu, mic *device.Model, cpuThreads, micThreads int) float64 {
+	if db == nil || db.Len() == 0 || queryLen == 0 {
+		return 0.5
+	}
+	lengths := make([]int, db.Len())
+	for i := range lengths {
+		lengths[i] = db.Seq(i).Len()
+	}
+	cpuOpt := opt
+	cpuOpt.Threads = cpuThreads
+	micOpt := opt
+	micOpt.Threads = micThreads
+	tCPU := estimateSeconds(lengths, queryLen, cpu, cpuOpt)
+	tMIC := estimateSeconds(lengths, queryLen, mic, micOpt)
+	if tCPU+tMIC <= 0 {
+		return 0.5
+	}
+	share := tCPU / (tCPU + tMIC)
+	if share < 0 {
+		share = 0
+	}
+	if share > 1 {
+		share = 1
+	}
+	return share
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterosw/internal/device"
+)
+
+func TestOptimalMICShareBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	// Large enough that the Phi's 240 threads are not chunk-starved; on
+	// tiny databases the model correctly gives the Phi a small share.
+	db := randDB(rng, 30000, 400, true)
+	opt := defaultSearchOptions()
+	share := OptimalMICShare(db, 1000, opt, device.Xeon(), device.Phi(), 0, 0)
+	// The Phi is somewhat faster than the Xeon on intrinsic-SP, so the
+	// balanced share gives it the larger half.
+	if share < 0.45 || share > 0.70 {
+		t.Fatalf("optimal share %v outside the plausible band", share)
+	}
+	// The small-database regime: the model hands the starved Phi less.
+	tiny := randDB(rng, 1500, 300, true)
+	tinyShare := OptimalMICShare(tiny, 1000, opt, device.Xeon(), device.Phi(), 0, 0)
+	if tinyShare >= share {
+		t.Fatalf("tiny-db share %.3f not below large-db share %.3f", tinyShare, share)
+	}
+
+	// The auto split's completion must be at least as good as clearly
+	// unbalanced splits of the same (functional, smaller) search.
+	query := randProtein(rng, 120)
+	auto, err := SearchHetero(tiny, query, HeteroOptions{
+		Search: opt, AutoSplit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{0.02, 0.9} {
+		res, err := SearchHetero(tiny, query, HeteroOptions{
+			Search: opt, MICShare: bad,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auto.SimSeconds > res.SimSeconds*1.02 {
+			t.Fatalf("auto split (%v s, share %.2f) worse than share %.1f (%v s)",
+				auto.SimSeconds, auto.MICShare, bad, res.SimSeconds)
+		}
+	}
+}
+
+func TestOptimalMICShareDegenerate(t *testing.T) {
+	if got := OptimalMICShare(nil, 100, defaultSearchOptions(), device.Xeon(), device.Phi(), 0, 0); got != 0.5 {
+		t.Fatalf("nil db share %v", got)
+	}
+	rng := rand.New(rand.NewSource(601))
+	db := randDB(rng, 10, 50, true)
+	if got := OptimalMICShare(db, 0, defaultSearchOptions(), device.Xeon(), device.Phi(), 0, 0); got != 0.5 {
+		t.Fatalf("zero query share %v", got)
+	}
+}
+
+func TestEstimateSecondsTracksEngine(t *testing.T) {
+	// The predictor must agree with the engine's own simulated seconds
+	// (same cost pipeline, minus functional overflow accounting).
+	rng := rand.New(rand.NewSource(602))
+	db := randDB(rng, 800, 300, true)
+	query := randProtein(rng, 250)
+	opt := defaultSearchOptions()
+	for _, dev := range []*device.Model{device.Xeon(), device.Phi()} {
+		eng, err := NewEngine(db, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Search(query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths := make([]int, db.Len())
+		for i := range lengths {
+			lengths[i] = db.Seq(i).Len()
+		}
+		est := estimateSeconds(lengths, query.Len(), dev, opt)
+		ratio := est / res.SimSeconds
+		if ratio < 0.98 || ratio > 1.02 {
+			t.Fatalf("%s: estimate %v vs engine %v (ratio %v)", dev.Short, est, res.SimSeconds, ratio)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterosw/internal/device"
+	"heterosw/internal/sched"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+)
+
+func testEngine(t *testing.T, db *seqdb.Database) *Engine {
+	t.Helper()
+	e, err := NewEngine(db, device.Xeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func defaultSearchOptions() SearchOptions {
+	return SearchOptions{
+		Params:   Params{Variant: IntrinsicSP, GapOpen: 10, GapExtend: 2, Blocked: true},
+		Schedule: sched.Dynamic,
+	}
+}
+
+func TestSearchMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	db := randDB(rng, 60, 80, true)
+	query := randProtein(rng, 50)
+	want := oracleScores(db, query.Residues)
+	e := testEngine(t, db)
+	for _, v := range Variants() {
+		opt := defaultSearchOptions()
+		opt.Variant = v
+		res, err := e.Search(query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if int(res.Scores[i]) != want[i] {
+				t.Fatalf("%v: seq %d score %d, want %d", v, i, res.Scores[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSearchHitsSortedAndSelfHitFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	db := randDB(rng, 40, 60, true)
+	// Plant the query itself: it must be the top hit.
+	query := randProtein(rng, 55)
+	planted := *query
+	planted.ID = "PLANTED"
+	seqs := make([]*sequence.Sequence, 0, db.Len()+1)
+	for i := 0; i < db.Len(); i++ {
+		seqs = append(seqs, db.Seq(i))
+	}
+	seqs = append(seqs, &planted)
+	db2 := seqdb.New(seqs, true)
+	e := testEngine(t, db2)
+	res, err := e.Search(query, defaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits[0].ID != "PLANTED" {
+		t.Fatalf("top hit %q score %d, want PLANTED", res.Hits[0].ID, res.Hits[0].Score)
+	}
+	for i := 1; i < len(res.Hits); i++ {
+		if res.Hits[i].Score > res.Hits[i-1].Score {
+			t.Fatal("hits not sorted descending")
+		}
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	db := randDB(rng, 30, 40, true)
+	e := testEngine(t, db)
+	opt := defaultSearchOptions()
+	opt.TopK = 5
+	res, err := e.Search(randProtein(rng, 30), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 5 {
+		t.Fatalf("TopK gave %d hits", len(res.Hits))
+	}
+	if len(res.Scores) != db.Len() {
+		t.Fatalf("Scores truncated to %d", len(res.Scores))
+	}
+}
+
+func TestSearchSimTimingSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	// Enough sequences that every thread count has plenty of lane groups
+	// (chunk starvation legitimately makes HT counterproductive).
+	db := randDB(rng, 2000, 120, true)
+	query := randProtein(rng, 300)
+	e := testEngine(t, db)
+
+	prev := 0.0
+	for _, threads := range []int{1, 4, 16, 32} {
+		opt := defaultSearchOptions()
+		opt.Threads = threads
+		res, err := e.Search(query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SimSeconds <= 0 || res.SimGCUPS <= 0 {
+			t.Fatalf("threads=%d: non-positive sim timing %v / %v", threads, res.SimSeconds, res.SimGCUPS)
+		}
+		if prev > 0 && res.SimSeconds >= prev {
+			t.Fatalf("threads=%d: sim time %v did not improve on %v", threads, res.SimSeconds, prev)
+		}
+		prev = res.SimSeconds
+		if res.Threads != threads {
+			t.Fatalf("Threads = %d", res.Threads)
+		}
+	}
+}
+
+func TestSearchOnPhiChargesTransfers(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	db := randDB(rng, 100, 100, true)
+	query := randProtein(rng, 200)
+	phiEng, err := NewEngine(db, device.Phi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phiEng.Search(query, defaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transfer+latency floor: at least two PCIe latencies.
+	if res.SimSeconds < 2*device.Phi().PCIeLatencySec {
+		t.Fatalf("Phi search %vs does not include transfer costs", res.SimSeconds)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	db := randDB(rng, 5, 20, true)
+	e := testEngine(t, db)
+	if _, err := e.Search(nil, defaultSearchOptions()); err == nil {
+		t.Error("nil query accepted")
+	}
+	opt := defaultSearchOptions()
+	opt.Threads = 1000
+	if _, err := e.Search(randProtein(rng, 5), opt); err == nil {
+		t.Error("absurd thread count accepted")
+	}
+	opt = defaultSearchOptions()
+	opt.GapOpen = -3
+	if _, err := e.Search(randProtein(rng, 5), opt); err == nil {
+		t.Error("negative gap accepted")
+	}
+	if _, err := NewEngine(nil, device.Xeon()); err == nil {
+		t.Error("nil db accepted")
+	}
+	if _, err := NewEngine(db, nil); err == nil {
+		t.Error("nil device accepted")
+	}
+}
+
+func TestHeteroMatchesSingleDeviceScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	db := randDB(rng, 80, 70, true)
+	query := randProtein(rng, 60)
+	want := oracleScores(db, query.Residues)
+
+	for _, share := range []float64{0, 0.3, 0.55, 1} {
+		res, err := SearchHetero(db, query, HeteroOptions{
+			Search:   defaultSearchOptions(),
+			MICShare: share,
+		})
+		if err != nil {
+			t.Fatalf("share %v: %v", share, err)
+		}
+		for i := range want {
+			if int(res.Scores[i]) != want[i] {
+				t.Fatalf("share %v: seq %d score %d, want %d", share, i, res.Scores[i], want[i])
+			}
+		}
+		if len(res.Hits) != db.Len() {
+			t.Fatalf("share %v: %d hits", share, len(res.Hits))
+		}
+		gotShare := res.MICShare
+		if gotShare < share-0.06 || gotShare > share+0.06 {
+			t.Fatalf("realised MIC share %v, want ~%v", gotShare, share)
+		}
+	}
+}
+
+func TestHeteroOverlapTiming(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	db := randDB(rng, 150, 100, true)
+	query := randProtein(rng, 200)
+	res, err := SearchHetero(db, query, HeteroOptions{
+		Search:   defaultSearchOptions(),
+		MICShare: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMax := res.CPUSeconds
+	if res.MICSeconds > wantMax {
+		wantMax = res.MICSeconds
+	}
+	if res.SimSeconds != wantMax {
+		t.Fatalf("SimSeconds %v != max(%v, %v)", res.SimSeconds, res.CPUSeconds, res.MICSeconds)
+	}
+	if res.Stats.Cells != int64(query.Len())*db.Residues() {
+		t.Fatalf("combined cells %d", res.Stats.Cells)
+	}
+}
+
+func TestHeteroBadShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(208))
+	db := randDB(rng, 5, 20, true)
+	if _, err := SearchHetero(db, randProtein(rng, 5), HeteroOptions{Search: defaultSearchOptions(), MICShare: 1.5}); err == nil {
+		t.Error("share 1.5 accepted")
+	}
+	if _, err := SearchHetero(nil, randProtein(rng, 5), HeteroOptions{Search: defaultSearchOptions()}); err == nil {
+		t.Error("nil db accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"heterosw/internal/device"
+	"heterosw/internal/offload"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+)
+
+// HeteroOptions configures the heterogeneous search of Algorithm 2.
+type HeteroOptions struct {
+	// Search carries the shared kernel configuration (variant, gaps,
+	// blocking, schedule, matrix, TopK). Threads is interpreted per
+	// device via CPUThreads/MICThreads below.
+	Search SearchOptions
+	// CPU and MIC are the two device models (Xeon/Phi when nil).
+	CPU, MIC *device.Model
+	// CPUThreads and MICThreads are the simulated thread counts (device
+	// maxima when 0).
+	CPUThreads, MICThreads int
+	// MICShare is the fraction of database residues offloaded to the
+	// coprocessor — the abscissa of Figure 8.
+	MICShare float64
+	// AutoSplit derives the share from the device cost models instead of
+	// MICShare (see OptimalMICShare) — the model-driven distribution
+	// strategy the paper proposes as future work.
+	AutoSplit bool
+}
+
+// HeteroResult reports a heterogeneous search.
+type HeteroResult struct {
+	// Result is the merged outcome; its SimSeconds is the simulated
+	// completion time max(CPU, offload+MIC) per Algorithm 2.
+	Result
+	// CPUSeconds and MICSeconds are the simulated per-device times; the
+	// MIC time includes its PCIe transfers.
+	CPUSeconds, MICSeconds float64
+	// CPUShare and MICShare are the realised residue fractions.
+	CPUShare, MICShare float64
+}
+
+// SearchHetero performs Algorithm 2: the database is split between host
+// and coprocessor with a static distribution, the coprocessor part runs as
+// an asynchronous offload region while the host computes its own share,
+// and the score lists are merged and sorted. The functional execution uses
+// real concurrency mirroring the signal/wait structure.
+func SearchHetero(db *seqdb.Database, query *sequence.Sequence, opt HeteroOptions) (*HeteroResult, error) {
+	if db == nil {
+		return nil, fmt.Errorf("core: nil database")
+	}
+	if opt.MICShare < 0 || opt.MICShare > 1 {
+		return nil, fmt.Errorf("core: MIC share %v outside [0,1]", opt.MICShare)
+	}
+	cpu := opt.CPU
+	if cpu == nil {
+		cpu = device.Xeon()
+	}
+	mic := opt.MIC
+	if mic == nil {
+		mic = device.Phi()
+	}
+	share := opt.MICShare
+	if opt.AutoSplit && query != nil {
+		share = OptimalMICShare(db, query.Len(), opt.Search, cpu, mic, opt.CPUThreads, opt.MICThreads)
+	}
+
+	// Step 2 of Algorithm 2: sort_and_split.
+	micDB, cpuDB := db.Split(share)
+
+	cpuEng, err := NewEngine(cpuDB, cpu)
+	if err != nil {
+		return nil, err
+	}
+	micEng, err := NewEngine(micDB, mic)
+	if err != nil {
+		return nil, err
+	}
+	cpuOpt := opt.Search
+	cpuOpt.Threads = opt.CPUThreads
+	cpuOpt.TopK = 0
+	micOpt := opt.Search
+	micOpt.Threads = opt.MICThreads
+	micOpt.TopK = 0
+
+	// Asynchronous offload of the MIC share (signal), host share runs
+	// meanwhile, then wait. Empty shares skip their device entirely: at
+	// a 0% MIC share Algorithm 2 degenerates to Algorithm 1 with no
+	// offload region launched.
+	var micRes, cpuRes *Result
+	var micErr, cpuErr error
+	if micDB.Len() > 0 {
+		sig := offload.Start(func() {
+			micRes, micErr = micEng.Search(query, micOpt)
+		})
+		if cpuDB.Len() > 0 {
+			cpuRes, cpuErr = cpuEng.Search(query, cpuOpt)
+		}
+		sig.Wait()
+	} else if cpuDB.Len() > 0 {
+		cpuRes, cpuErr = cpuEng.Search(query, cpuOpt)
+	}
+	if err := firstErr(cpuErr, micErr); err != nil {
+		return nil, err
+	}
+	if cpuRes == nil {
+		cpuRes = &Result{Threads: 0}
+	}
+	if micRes == nil {
+		micRes = &Result{Threads: 0}
+	}
+
+	// Merge scores back into caller order. Split produced two fresh
+	// databases, so map by sequence identity.
+	out := &HeteroResult{
+		CPUSeconds: cpuRes.SimSeconds,
+		MICSeconds: micRes.SimSeconds,
+	}
+	if db.Residues() > 0 {
+		out.MICShare = float64(micDB.Residues()) / float64(db.Residues())
+		out.CPUShare = float64(cpuDB.Residues()) / float64(db.Residues())
+	}
+	scores := make([]int32, db.Len())
+	byPtr := make(map[*sequence.Sequence]int32, db.Len())
+	for i := 0; i < cpuDB.Len(); i++ {
+		byPtr[cpuDB.Seq(i)] = cpuRes.Scores[i]
+	}
+	for i := 0; i < micDB.Len(); i++ {
+		byPtr[micDB.Seq(i)] = micRes.Scores[i]
+	}
+	for i := 0; i < db.Len(); i++ {
+		scores[i] = byPtr[db.Seq(i)]
+	}
+	out.Scores = scores
+	out.Stats = cpuRes.Stats
+	out.Stats.Add(micRes.Stats)
+	out.Threads = cpuRes.Threads + micRes.Threads
+
+	// Simulated completion: host and offload region overlap (Algorithm
+	// 2's signal/wait); the final sort of step 4 is serial on the host
+	// and small.
+	out.SimSeconds = cpuRes.SimSeconds
+	if micRes.SimSeconds > out.SimSeconds {
+		out.SimSeconds = micRes.SimSeconds
+	}
+	if out.SimSeconds > 0 {
+		out.SimGCUPS = float64(out.Stats.Cells) / out.SimSeconds / 1e9
+	}
+	out.WallSeconds = cpuRes.WallSeconds
+	if micRes.WallSeconds > out.WallSeconds {
+		out.WallSeconds = micRes.WallSeconds
+	}
+	if out.WallSeconds > 0 {
+		out.WallGCUPS = float64(out.Stats.Cells) / out.WallSeconds / 1e9
+	}
+
+	hits := make([]Hit, db.Len())
+	for i, s := range scores {
+		hits[i] = Hit{SeqIndex: i, ID: db.Seq(i).ID, Score: s}
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
+	if opt.Search.TopK > 0 && opt.Search.TopK < len(hits) {
+		hits = hits[:opt.Search.TopK]
+	}
+	out.Hits = hits
+	return out, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"heterosw/internal/device"
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/vec"
+)
+
+// Params fixes the alignment parameters of a search. The gap model is the
+// paper's Eq. 5: a gap of length x costs GapOpen + GapExtend*x.
+type Params struct {
+	Variant   Variant
+	GapOpen   int // q >= 0
+	GapExtend int // r >= 0
+	// Blocked enables the cache-blocking optimisation (Figure 7): the
+	// query dimension is processed in tiles of BlockRows rows, carrying
+	// boundary state, so the hot working set is O(BlockRows) instead of
+	// O(query length).
+	Blocked   bool
+	BlockRows int
+}
+
+// DefaultBlockRows is the query-tile height used when Params.Blocked is set
+// without an explicit BlockRows. 256 rows x 32 lanes x 2 arrays x 2 bytes
+// = 32 KiB comfortably fits the per-thread share of both devices' caches.
+const DefaultBlockRows = 256
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Variant < 0 || p.Variant >= numVariants {
+		return fmt.Errorf("core: invalid variant %d", int(p.Variant))
+	}
+	if p.GapOpen < 0 || p.GapExtend < 0 {
+		return fmt.Errorf("core: negative gap penalties q=%d r=%d", p.GapOpen, p.GapExtend)
+	}
+	if p.Blocked && p.BlockRows < 0 {
+		return fmt.Errorf("core: negative block rows %d", p.BlockRows)
+	}
+	// The 16-bit kernels hold q+r in an int16 lane constant; bound it well
+	// below the rail so gap arithmetic can never wrap.
+	if p.GapOpen+p.GapExtend > 16384 {
+		return fmt.Errorf("core: gap penalties q+r = %d exceed the supported maximum 16384", p.GapOpen+p.GapExtend)
+	}
+	return nil
+}
+
+// KernelClass maps the parameters to the architecture-neutral descriptor
+// the device cost model consumes.
+func (p Params) KernelClass() device.KernelClass {
+	return device.KernelClass{
+		Scalar:       p.Variant.Vec() == VecNone,
+		Guided:       p.Variant.Vec() == VecGuided,
+		QueryProfile: p.Variant.Prof() == ProfQuery,
+		Blocked:      p.Blocked,
+		BlockRows:    p.BlockRows,
+	}
+}
+
+func (p Params) blockRows() int {
+	if !p.Blocked {
+		return 0
+	}
+	if p.BlockRows == 0 {
+		return DefaultBlockRows
+	}
+	return p.BlockRows
+}
+
+// Buffers holds per-worker kernel scratch so the hot loops never allocate.
+// Each scheduler worker owns one Buffers; they are not safe for concurrent
+// use.
+type Buffers struct {
+	lanes int
+
+	// 16-bit state for the intrinsic kernels.
+	h16, e16              []int16 // column state, (rows+1) * lanes
+	hb16, fb16            []int16 // block boundary rows, width * lanes
+	f16, diag16, up16     vec.I16 // lane temporaries
+	sc16, t16, u16, max16 vec.I16
+
+	// 32-bit state for the guided kernels.
+	h32, e32     []int32
+	hb32, fb32   []int32
+	f32, max32   []int32
+	diag32, up32 []int32
+
+	// Scalar state for no-vec and overflow recomputation.
+	hS, fS []int32
+
+	sr  *profile.ScoreRows
+	idx []uint8 // current column residues (lane view)
+
+	// Striped-kernel scratch.
+	striped []int16
+}
+
+// NewBuffers allocates kernel scratch for a lane width.
+func NewBuffers(lanes int) *Buffers {
+	b := &Buffers{
+		lanes:  lanes,
+		f16:    make(vec.I16, lanes),
+		diag16: make(vec.I16, lanes),
+		up16:   make(vec.I16, lanes),
+		sc16:   make(vec.I16, lanes),
+		t16:    make(vec.I16, lanes),
+		u16:    make(vec.I16, lanes),
+		max16:  make(vec.I16, lanes),
+		f32:    make([]int32, lanes),
+		max32:  make([]int32, lanes),
+		diag32: make([]int32, lanes),
+		up32:   make([]int32, lanes),
+		sr:     profile.NewScoreRows(lanes),
+		idx:    make([]uint8, lanes),
+	}
+	return b
+}
+
+func grow16(p *[]int16, n int) []int16 {
+	if cap(*p) < n {
+		*p = make([]int16, n)
+	}
+	return (*p)[:n]
+}
+
+func grow32(p *[]int32, n int) []int32 {
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	return (*p)[:n]
+}
+
+// AlignGroup aligns the query against every lane of group g and returns the
+// per-lane optimal local-alignment scores (padding lanes score 0) plus the
+// structural operation counts. buf must have been created with
+// NewBuffers(g.Lanes) for the lane kernels; no-vec ignores the lane width.
+func AlignGroup(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([]int32, Stats) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	switch p.Variant.Vec() {
+	case VecNone:
+		return alignGroupScalar(q, g, p)
+	case VecGuided:
+		return alignGroupGuided(q, g, p, buf)
+	default:
+		return alignGroupIntrinsic(q, g, p, buf)
+	}
+}

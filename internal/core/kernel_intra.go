@@ -1,0 +1,101 @@
+package core
+
+import (
+	"heterosw/internal/alphabet"
+	"heterosw/internal/profile"
+)
+
+// DefaultLongSeqThreshold is the database-sequence length above which the
+// engine switches from the inter-task lane kernel to the intra-task
+// anti-diagonal kernel. The value follows CUDASW++ [14] (cited by the
+// paper for its database pre-processing), which routes subjects longer
+// than 3072 residues to an intra-task path.
+//
+// Rationale: in the inter-task scheme one database sequence occupies one
+// SIMD lane for its whole length, so a 35,213-residue Swiss-Prot entry
+// pins a lane (and its scheduler chunk) for N columns regardless of thread
+// count — at 240 threads that single chunk would dominate the makespan.
+// The paper is silent on the issue; the mature implementations in its
+// reference list handle it with an intra-task kernel, and so does this
+// engine. See DESIGN.md.
+const DefaultLongSeqThreshold = 3072
+
+// alignPairIntra computes the Smith-Waterman score of one query/subject
+// pair with intra-task (anti-diagonal wavefront) vectorisation: cells on an
+// anti-diagonal have no mutual dependency, so the inner loop runs
+// lane-parallel along the diagonal. The emulation keeps 32-bit lanes, the
+// element width intra-task implementations use to sidestep saturation on
+// long alignments. Score-only, O(query) memory.
+//
+// State is held in four row-indexed arrays that rotate in place as the
+// wavefront advances. Processing rows in descending order makes the
+// rotation safe: row i's update consumes only indices i and i-1 of the
+// previous diagonal, and index i-1 has not been overwritten yet. The array
+// boundaries double as the DP boundary conditions: index 0 is row 0
+// (H = 0, F = -inf forever), and a row's slots still hold (H=0, E=-inf)
+// from initialisation when the wavefront first reaches it.
+func alignPairIntra(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) int32 {
+	m := q.Len()
+	n := len(subject)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	qr := int32(p.GapOpen + p.GapExtend)
+	r := int32(p.GapExtend)
+
+	// h1[i] = H(i, d-1-i), h2[i] = H(i, d-2-i), e[i] = E(i, d-1-i),
+	// f[i] = F(i, d-1-i) when the loop stands at diagonal d.
+	h1 := grow32(&buf.h32, m+1)
+	h2 := grow32(&buf.e32, m+1)
+	e := grow32(&buf.hb32, m+1)
+	f := grow32(&buf.fb32, m+1)
+	for i := 0; i <= m; i++ {
+		h1[i], h2[i] = 0, 0
+		e[i], f[i] = negInf32, negInf32
+	}
+
+	qp := q.QP
+	best := int32(0)
+	for d := 2; d <= m+n; d++ {
+		lo := d - n
+		if lo < 1 {
+			lo = 1
+		}
+		hi := d - 1
+		if hi > m {
+			hi = m
+		}
+		for i := hi; i >= lo; i-- {
+			j := d - i
+			// E(i,j) from (i, j-1) on diagonal d-1, same row.
+			eij := e[i] - r
+			if v := h1[i] - qr; v > eij {
+				eij = v
+			}
+			// F(i,j) from (i-1, j) on diagonal d-1, row above.
+			fij := f[i-1] - r
+			if v := h1[i-1] - qr; v > fij {
+				fij = v
+			}
+			// H(i,j) from (i-1, j-1) on diagonal d-2, row above.
+			hij := h2[i-1] + int32(qp[(i-1)*profile.TableWidth+int(subject[j-1])])
+			if eij > hij {
+				hij = eij
+			}
+			if fij > hij {
+				hij = fij
+			}
+			if hij < 0 {
+				hij = 0
+			}
+			if hij > best {
+				best = hij
+			}
+			h2[i] = h1[i]
+			h1[i] = hij
+			e[i] = eij
+			f[i] = fij
+		}
+	}
+	return best
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+	"heterosw/internal/submat"
+	"heterosw/internal/swalign"
+)
+
+func intraScore(t *testing.T, query, subject *sequence.Sequence) int32 {
+	t.Helper()
+	q := profile.NewQuery(query.Residues, submat.BLOSUM62)
+	buf := NewBuffers(4)
+	return alignPairIntra(q, subject.Residues, testParamsBase, buf)
+}
+
+func TestIntraMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: 10, GapExtend: 2}
+	for trial := 0; trial < 200; trial++ {
+		a := randProtein(rng, rng.Intn(70)+1)
+		b := randProtein(rng, rng.Intn(70)+1)
+		want := swalign.Score(a.Residues, b.Residues, sc)
+		got := intraScore(t, a, b)
+		if int(got) != want {
+			t.Fatalf("trial %d: intra %d, oracle %d (|a|=%d |b|=%d)", trial, got, want, a.Len(), b.Len())
+		}
+	}
+}
+
+func TestIntraAsymmetricShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: 10, GapExtend: 2}
+	shapes := [][2]int{{1, 1}, {1, 50}, {50, 1}, {2, 300}, {300, 2}, {128, 128}, {37, 91}}
+	for _, sh := range shapes {
+		a := randProtein(rng, sh[0])
+		b := randProtein(rng, sh[1])
+		want := swalign.Score(a.Residues, b.Residues, sc)
+		got := intraScore(t, a, b)
+		if int(got) != want {
+			t.Fatalf("shape %v: intra %d, oracle %d", sh, got, want)
+		}
+	}
+}
+
+func TestIntraEmptyInputs(t *testing.T) {
+	q := profile.NewQuery(nil, submat.BLOSUM62)
+	buf := NewBuffers(4)
+	if got := alignPairIntra(q, randProtein(rand.New(rand.NewSource(1)), 5).Residues, testParamsBase, buf); got != 0 {
+		t.Fatalf("empty query scored %d", got)
+	}
+	q2 := profile.NewQuery(randProtein(rand.New(rand.NewSource(2)), 5).Residues, submat.BLOSUM62)
+	if got := alignPairIntra(q2, nil, testParamsBase, buf); got != 0 {
+		t.Fatalf("empty subject scored %d", got)
+	}
+}
+
+func TestIntraLargeScores(t *testing.T) {
+	// The 32-bit intra kernel must be exact far beyond the int16 range.
+	long := strings.Repeat("W", 4000)
+	a := sequence.FromString("a", long)
+	got := intraScore(t, a, a)
+	if got != 11*4000 {
+		t.Fatalf("intra self-score %d, want %d", got, 11*4000)
+	}
+}
+
+func TestIntraOtherPenalties(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for _, gp := range [][2]int{{0, 1}, {5, 0}, {14, 4}} {
+		sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: gp[0], GapExtend: gp[1]}
+		p := Params{Variant: IntrinsicSP, GapOpen: gp[0], GapExtend: gp[1]}
+		q := profile.NewQuery(randProtein(rng, 60).Residues, submat.BLOSUM62)
+		buf := NewBuffers(4)
+		for trial := 0; trial < 30; trial++ {
+			b := randProtein(rng, rng.Intn(80)+1)
+			want := swalign.Score(q.Seq, b.Residues, sc)
+			got := alignPairIntra(q, b.Residues, p, buf)
+			if int(got) != want {
+				t.Fatalf("q=%d r=%d trial %d: intra %d oracle %d", gp[0], gp[1], trial, got, want)
+			}
+		}
+	}
+}
+
+// TestEngineRoutesLongSequences verifies the end-to-end path: a database
+// containing a sequence beyond the threshold must produce oracle-correct
+// scores and account the work as intra-task cells.
+func TestEngineRoutesLongSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	seqs := []*sequence.Sequence{
+		randProtein(rng, 30),
+		randProtein(rng, 3073), // just above DefaultLongSeqThreshold
+		randProtein(rng, 100),
+		randProtein(rng, 4000),
+	}
+	db := seqdb.New(seqs, true)
+	query := randProtein(rng, 40)
+	want := oracleScores(db, query.Residues)
+
+	e := testEngine(t, db)
+	res, err := e.Search(query, defaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if int(res.Scores[i]) != want[i] {
+			t.Fatalf("seq %d (len %d): score %d, want %d", i, seqs[i].Len(), res.Scores[i], want[i])
+		}
+	}
+	wantIntra := int64(query.Len()) * int64(3073+4000)
+	if res.Stats.IntraCells != wantIntra {
+		t.Fatalf("IntraCells = %d, want %d", res.Stats.IntraCells, wantIntra)
+	}
+	if res.Stats.Cells != int64(query.Len())*db.Residues() {
+		t.Fatalf("Cells = %d", res.Stats.Cells)
+	}
+
+	// Disabling routing must give identical scores through the lane
+	// kernels (with heavy padding).
+	opt := defaultSearchOptions()
+	opt.LongSeqThreshold = -1
+	res2, err := e.Search(query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res2.Scores[i] != res.Scores[i] {
+			t.Fatalf("routing changed scores at %d: %d vs %d", i, res2.Scores[i], res.Scores[i])
+		}
+	}
+	if res2.Stats.IntraCells != 0 {
+		t.Fatalf("routing disabled but IntraCells = %d", res2.Stats.IntraCells)
+	}
+}
+
+func TestPartitionRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	seqs := []*sequence.Sequence{
+		randProtein(rng, 10),
+		randProtein(rng, 5000),
+		randProtein(rng, 20),
+	}
+	db := seqdb.New(seqs, true)
+	groups, long := db.Partition(4, 3072)
+	if len(long) != 1 || long[0] != 1 {
+		t.Fatalf("long = %v, want [1]", long)
+	}
+	total := int64(0)
+	for _, g := range groups {
+		total += g.Residues
+		if g.Width > 3072 {
+			t.Fatalf("group width %d above threshold", g.Width)
+		}
+	}
+	if total != 30 {
+		t.Fatalf("groups hold %d residues, want 30", total)
+	}
+}

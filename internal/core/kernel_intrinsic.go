@@ -1,0 +1,173 @@
+package core
+
+import (
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/vec"
+)
+
+// alignGroupIntrinsic is the hand-vectorised kernel: explicit fixed-width
+// 16-bit saturating vector operations from internal/vec, exactly the
+// operation sequence an intrinsics implementation issues per cell. Lanes
+// whose running maximum reaches the int16 ceiling are recomputed with the
+// scalar 32-bit kernel (the standard saturation-escalation scheme of
+// SIMD Smith-Waterman implementations).
+//
+// The tile driver is identical to the guided kernel's; see
+// alignGroupGuided for the boundary hand-off invariants.
+func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([]int32, Stats) {
+	L := g.Lanes
+	M := q.Len()
+	N := g.Width
+	scores := make([]int32, L)
+	var st Stats
+	st.Groups = 1
+	for lane := 0; lane < L; lane++ {
+		if g.SeqIdx[lane] >= 0 {
+			st.Alignments++
+		}
+	}
+	if M == 0 || N == 0 {
+		return scores, st
+	}
+	B := p.blockRows()
+	if B == 0 || B > M {
+		B = M
+	}
+	qr := int16(p.GapOpen + p.GapExtend)
+	r := int16(p.GapExtend)
+	isQP := p.Variant.Prof() == ProfQuery
+
+	h := grow16(&buf.h16, (B+1)*L)
+	e := grow16(&buf.e16, (B+1)*L)
+	hb := grow16(&buf.hb16, (N+1)*L)
+	fb := grow16(&buf.fb16, (N+1)*L)
+	maxv := buf.max16
+	fcol := buf.f16
+	diagv := buf.diag16
+	sc := buf.sc16
+
+	vec.Set1(maxv, 0)
+	for i := range hb {
+		hb[i] = 0
+		fb[i] = vec.MinI16
+	}
+
+	for i0 := 1; i0 <= M; i0 += B {
+		i1 := i0 + B - 1
+		if i1 > M {
+			i1 = M
+		}
+		rows := i1 - i0 + 1
+		for i := 0; i < (rows+1)*L; i++ {
+			h[i] = 0
+			e[i] = vec.MinI16
+		}
+		vec.Set1(diagv, 0)
+		for jj := 1; jj <= N; jj++ {
+			col := g.Interleaved[(jj-1)*L : jj*L]
+			if !isQP {
+				buf.sr.Build(q, col)
+			}
+			fbRow := vec.I16(fb[jj*L : jj*L+L])
+			copy(fcol, fbRow)
+			for ri := 0; ri < rows; ri++ {
+				i := i0 + ri
+				hrow := vec.I16(h[(ri+1)*L : (ri+2)*L])
+				erow := vec.I16(e[(ri+1)*L : (ri+2)*L])
+				var scoreVec vec.I16
+				if isQP {
+					vec.Gather(sc, q.QPRow(i-1), col)
+					scoreVec = sc
+				} else {
+					scoreVec = buf.sr.Row(int(q.Seq[i-1]))
+				}
+				// Fused register-resident form of the per-row vector-op
+				// sequence (AddSat diag+score; Max with E, F, zero;
+				// MaxInto tracker; SubSatConst/Max updates of E and F).
+				// internal/vec holds the unfused reference semantics;
+				// the device model costs the individual operations.
+				scoreVec = scoreVec[:L]
+				erow = erow[:L]
+				hrow = hrow[:L]
+				for l := 0; l < L; l++ {
+					up := hrow[l]
+					hv := int32(diagv[l]) + int32(scoreVec[l])
+					if hv > vec.MaxI16 {
+						hv = vec.MaxI16
+					}
+					// The low rail is unreachable: diag >= 0 and scores
+					// are bounded by the matrix range.
+					ev, fv := erow[l], fcol[l]
+					if int32(ev) > hv {
+						hv = int32(ev)
+					}
+					if int32(fv) > hv {
+						hv = int32(fv)
+					}
+					if hv < 0 {
+						hv = 0
+					}
+					h16 := int16(hv)
+					if h16 > maxv[l] {
+						maxv[l] = h16
+					}
+					uv := hv - int32(qr) // no saturation: hv <= MaxI16
+					e32 := int32(ev) - int32(r)
+					if e32 < vec.MinI16 {
+						e32 = vec.MinI16
+					}
+					if uv > e32 {
+						e32 = uv
+					}
+					erow[l] = int16(e32)
+					f32 := int32(fv) - int32(r)
+					if f32 < vec.MinI16 {
+						f32 = vec.MinI16
+					}
+					if uv > f32 {
+						f32 = uv
+					}
+					fcol[l] = int16(f32)
+					diagv[l] = up
+					hrow[l] = h16
+				}
+			}
+			hbRow := vec.I16(hb[jj*L : jj*L+L])
+			copy(diagv, hbRow)
+			copy(hbRow, h[rows*L:(rows+1)*L])
+			copy(fbRow, fcol)
+		}
+	}
+
+	// Score extraction with saturation escalation: a lane whose tracked
+	// maximum hit the int16 ceiling may have been clipped anywhere in the
+	// matrix, so its exact score is recomputed in 32 bits.
+	var h32, e32 []int32
+	for l := 0; l < L; l++ {
+		if g.SeqIdx[l] < 0 {
+			continue
+		}
+		if maxv[l] == vec.MaxI16 {
+			if h32 == nil {
+				h32 = grow32(&buf.h32, M+1)
+				e32 = grow32(&buf.e32, M+1)
+			}
+			scores[l] = scalarLane(q, g, l, p, h32, e32)
+			st.Overflows++
+			st.OverflowCells += int64(M) * int64(g.Lens[l])
+		} else {
+			scores[l] = int32(maxv[l])
+		}
+	}
+	st.Cells = int64(M) * g.Residues
+	st.VecIters = int64(M) * int64(N)
+	st.PaddedCells = st.VecIters * int64(L)
+	st.Columns = int64(N)
+	if isQP {
+		st.Gathers = st.VecIters
+	} else {
+		st.SPBuilds = st.Columns
+	}
+	return scores, st
+}

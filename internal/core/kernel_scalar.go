@@ -1,0 +1,93 @@
+package core
+
+import (
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+)
+
+const negInf32 = int32(-(1 << 29))
+
+// scalarLane runs the plain 32-bit Smith-Waterman recurrence for a single
+// lane of an interleaved group. It is both the no-vec kernel body and the
+// recomputation path for lanes that saturate 16-bit arithmetic. h and e
+// must have at least len(q.Seq)+1 entries: h carries the previous column's
+// H values per query row, e the database-direction gap state per query row.
+func scalarLane(q *profile.Query, g *seqdb.LaneGroup, lane int, p Params, h, e []int32) int32 {
+	m := q.Len()
+	n := g.Lens[lane]
+	if m == 0 || n == 0 {
+		return 0
+	}
+	qr := int32(p.GapOpen + p.GapExtend)
+	r := int32(p.GapExtend)
+	L := g.Lanes
+
+	for i := 0; i <= m; i++ {
+		h[i] = 0
+		e[i] = negInf32
+	}
+	best := int32(0)
+	for j := 0; j < n; j++ {
+		d := int(g.Interleaved[j*L+lane])
+		// The scalar SP/QP distinction is purely an access pattern (and
+		// cost-model) difference: both read V(q_i, d).
+		row := q.ExtRow(d) // V(*, d); symmetric matrix, so V(q_i,d) = row[q_i]
+		var diag, fcol int32 = 0, negInf32
+		for i := 1; i <= m; i++ {
+			up := h[i]
+			sc := int32(row[q.Seq[i-1]])
+			hij := diag + sc
+			if e[i] > hij {
+				hij = e[i]
+			}
+			if fcol > hij {
+				hij = fcol
+			}
+			if hij < 0 {
+				hij = 0
+			}
+			if hij > best {
+				best = hij
+			}
+			// E[i][j+1] = max(E[i][j], H[i][j]-q) - r
+			ei := e[i] - r
+			if v := hij - qr; v > ei {
+				ei = v
+			}
+			e[i] = ei
+			// F[i+1][j] = max(F[i][j], H[i][j]-q) - r
+			fcol -= r
+			if v := hij - qr; v > fcol {
+				fcol = v
+			}
+			diag = up
+			h[i] = hij
+		}
+	}
+	return best
+}
+
+// alignGroupScalar is the no-vec kernel: each lane of the group is aligned
+// sequentially with scalar arithmetic. Padding never enters the loop, so
+// PaddedCells equals Cells.
+func alignGroupScalar(q *profile.Query, g *seqdb.LaneGroup, p Params) ([]int32, Stats) {
+	scores := make([]int32, g.Lanes)
+	m := q.Len()
+	h := make([]int32, m+1)
+	e := make([]int32, m+1)
+	var st Stats
+	st.Groups = 1
+	for lane := 0; lane < g.Lanes; lane++ {
+		if g.SeqIdx[lane] < 0 {
+			continue
+		}
+		scores[lane] = scalarLane(q, g, lane, p, h, e)
+		cells := int64(m) * int64(g.Lens[lane])
+		st.Cells += cells
+		st.PaddedCells += cells
+		st.VecIters += cells // scalar iterations
+		st.Columns += int64(g.Lens[lane])
+		st.Alignments++
+	}
+	return scores, st
+}

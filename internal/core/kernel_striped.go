@@ -1,0 +1,164 @@
+package core
+
+import (
+	"heterosw/internal/alphabet"
+	"heterosw/internal/profile"
+	"heterosw/internal/vec"
+)
+
+// alignPairStriped is Farrar's striped Smith-Waterman [13] — the
+// intra-task vectorisation the paper contrasts with its inter-task scheme —
+// implemented over the emulated 16-bit lanes with saturation escalation.
+//
+// The query is split into L segments of length t = ceil(M/L); vector
+// element k of stripe i covers query position k*t + i. The inner loop
+// walks stripes, so the F (query-direction gap) dependency crosses vector
+// elements only at segment boundaries; the main pass assumes no such flow
+// and the lazy-F loop afterwards propagates boundary-crossing gaps until
+// they can no longer raise any H. Scores saturating the int16 ceiling are
+// recomputed exactly by the 32-bit anti-diagonal kernel.
+//
+// stripedLanes is fixed at 16 (the Xeon model's width); the algorithm is
+// width-agnostic and the cost model charges intra-task work identically
+// for both intra kernels.
+const stripedLanes = 16
+
+// stripedProfile builds the striped query profile for the current query:
+// for every residue index e, t stripe vectors of V(e, q[k*t+i]) with
+// padding positions scoring profile.PadScore. Layout:
+// prof[((e*t)+i)*L + k].
+func stripedProfile(q *profile.Query, dst []int16, t int) []int16 {
+	L := stripedLanes
+	need := profile.TableWidth * t * L
+	if cap(dst) < need {
+		dst = make([]int16, need)
+	}
+	dst = dst[:need]
+	m := q.Len()
+	for e := 0; e < profile.TableWidth; e++ {
+		row := q.ExtRow(e)
+		base := e * t * L
+		for i := 0; i < t; i++ {
+			for k := 0; k < L; k++ {
+				p := k*t + i
+				if p < m {
+					dst[base+i*L+k] = row[q.Seq[p]]
+				} else {
+					dst[base+i*L+k] = profile.PadScore
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// vshift shifts a stripe vector one lane upward: element k receives
+// element k-1, element 0 receives the boundary value 0 for H (the caller
+// passes boundary explicitly for F). This is the element-shift that maps
+// the last stripe onto the first stripe's diagonal predecessors.
+func vshift(dst, src vec.I16, boundary int16) {
+	for k := len(src) - 1; k >= 1; k-- {
+		dst[k] = src[k-1]
+	}
+	dst[0] = boundary
+}
+
+// alignPairStriped computes the Smith-Waterman score of one pair.
+func alignPairStriped(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) int32 {
+	m := q.Len()
+	n := len(subject)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	L := stripedLanes
+	t := (m + L - 1) / L
+	qr := int16(p.GapOpen + p.GapExtend)
+	r := int16(p.GapExtend)
+	qOnly := int16(p.GapOpen)
+
+	buf.striped = stripedProfile(q, buf.striped, t)
+	prof := buf.striped
+
+	// Striped state: two H column buffers (previous/current), E, and lane
+	// temporaries. Reuses the 16-bit scratch pools.
+	hPrev := grow16(&buf.h16, t*L)
+	hCur := grow16(&buf.e16, t*L)
+	eCol := grow16(&buf.hb16, t*L)
+	for i := range hPrev {
+		hPrev[i] = 0
+		eCol[i] = vec.MinI16
+	}
+	vH := make(vec.I16, L)
+	vF := make(vec.I16, L)
+	vMax := make(vec.I16, L)
+	vTmp := make(vec.I16, L)
+	vec.Set1(vMax, 0)
+
+	for j := 0; j < n; j++ {
+		pBase := int(subject[j]) * t * L
+		// Diagonal for stripe 0: last stripe of the previous column,
+		// shifted one lane up (query position k*t-1 lives in lane k-1).
+		vshift(vH, hPrev[(t-1)*L:t*L], 0)
+		vec.Set1(vF, vec.MinI16)
+		for i := 0; i < t; i++ {
+			hp := vec.I16(hPrev[i*L : (i+1)*L])
+			hc := vec.I16(hCur[i*L : (i+1)*L])
+			ev := vec.I16(eCol[i*L : (i+1)*L])
+			pv := vec.I16(prof[pBase+i*L : pBase+(i+1)*L])
+			// H = max(0, diag+score, E, F); track the maximum.
+			vec.AddSat(vH, vH, pv)
+			vec.Max(vH, vH, ev)
+			vec.Max(vH, vH, vF)
+			vec.MaxConst(vH, vH, 0)
+			vec.MaxInto(vMax, vH)
+			copy(hc, vH)
+			// E and F updates for the next column / next row.
+			vec.SubSatConst(vTmp, vH, qr)
+			vec.SubSatConst(ev, ev, r)
+			vec.Max(ev, ev, vTmp)
+			vec.SubSatConst(vF, vF, r)
+			vec.Max(vF, vF, vTmp)
+			// Next stripe's diagonal is this stripe of the previous
+			// column.
+			copy(vH, hp)
+		}
+
+		// Lazy-F: propagate query-direction gaps across segment
+		// boundaries. Each pass shifts F into the next segment and decays
+		// it along the stripes, improving H (and refreshing E) where it
+		// still wins. Farrar's termination test applies: once F <= H - q
+		// in every lane, any onward flow (F - r) is dominated by the
+		// H - q - r refreshes the main pass already propagated, so the
+		// column is done. F can cross at most L-1 boundaries, bounding
+		// the passes even with a zero extension penalty.
+	lazyF:
+		for pass := 0; pass < L; pass++ {
+			vshift(vF, vF, vec.MinI16)
+			for i := 0; i < t; i++ {
+				hc := vec.I16(hCur[i*L : (i+1)*L])
+				// Check against the pre-update H: once F <= H - q in
+				// every lane, F cannot improve this H, and its onward
+				// flow (F - r) is dominated by the H - q - r refresh the
+				// main pass already propagated from this unchanged H.
+				vec.SubSatConst(vTmp, hc, qOnly)
+				if !vec.AnyGT(vF, vTmp) {
+					break lazyF
+				}
+				vec.Max(hc, hc, vF)
+				vec.MaxInto(vMax, hc)
+				ev := vec.I16(eCol[i*L : (i+1)*L])
+				vec.SubSatConst(vTmp, hc, qr)
+				vec.Max(ev, ev, vTmp)
+				vec.SubSatConst(vF, vF, r)
+			}
+		}
+		hPrev, hCur = hCur, hPrev
+	}
+
+	best := vec.HorizontalMax(vMax)
+	if best == vec.MaxI16 {
+		// Saturated: recompute exactly in 32 bits.
+		return alignPairIntra(q, subject, p, buf)
+	}
+	return int32(best)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+	"heterosw/internal/submat"
+	"heterosw/internal/swalign"
+)
+
+func stripedScore(t *testing.T, query, subject *sequence.Sequence, p Params) int32 {
+	t.Helper()
+	q := profile.NewQuery(query.Residues, submat.BLOSUM62)
+	buf := NewBuffers(stripedLanes)
+	return alignPairStriped(q, subject.Residues, p, buf)
+}
+
+func TestStripedMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: 10, GapExtend: 2}
+	for trial := 0; trial < 250; trial++ {
+		a := randProtein(rng, rng.Intn(120)+1)
+		b := randProtein(rng, rng.Intn(120)+1)
+		want := swalign.Score(a.Residues, b.Residues, sc)
+		got := stripedScore(t, a, b, testParamsBase)
+		if int(got) != want {
+			t.Fatalf("trial %d (|a|=%d |b|=%d): striped %d, oracle %d",
+				trial, a.Len(), b.Len(), got, want)
+		}
+	}
+}
+
+func TestStripedShortQueries(t *testing.T) {
+	// Queries shorter than the lane count exercise heavy stripe padding.
+	rng := rand.New(rand.NewSource(401))
+	sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: 10, GapExtend: 2}
+	for _, m := range []int{1, 2, 7, 15, 16, 17, 31, 33} {
+		a := randProtein(rng, m)
+		b := randProtein(rng, 60)
+		want := swalign.Score(a.Residues, b.Residues, sc)
+		got := stripedScore(t, a, b, testParamsBase)
+		if int(got) != want {
+			t.Fatalf("M=%d: striped %d, oracle %d", m, got, want)
+		}
+	}
+}
+
+func TestStripedGapHeavyPenalties(t *testing.T) {
+	// Zero extension and zero open costs stress the lazy-F loop: gaps
+	// propagate far (r=0 decays nothing within the pass cap; q=0 makes
+	// refreshes as strong as decay).
+	rng := rand.New(rand.NewSource(402))
+	for _, gp := range [][2]int{{0, 1}, {12, 0}, {0, 0}, {1, 1}} {
+		sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: gp[0], GapExtend: gp[1]}
+		p := Params{Variant: IntrinsicSP, GapOpen: gp[0], GapExtend: gp[1]}
+		for trial := 0; trial < 40; trial++ {
+			a := randProtein(rng, rng.Intn(70)+1)
+			b := randProtein(rng, rng.Intn(70)+1)
+			want := swalign.Score(a.Residues, b.Residues, sc)
+			got := stripedScore(t, a, b, p)
+			if int(got) != want {
+				t.Fatalf("q=%d r=%d trial %d: striped %d, oracle %d", gp[0], gp[1], trial, got, want)
+			}
+		}
+	}
+}
+
+func TestStripedSaturationEscalation(t *testing.T) {
+	// Self-alignment of a 3100-tryptophan repeat exceeds int16; the
+	// striped kernel must escalate to the 32-bit path.
+	long := strings.Repeat("W", 3100)
+	a := sequence.FromString("w", long)
+	got := stripedScore(t, a, a, testParamsBase)
+	if got != 11*3100 {
+		t.Fatalf("striped saturated self-score %d, want %d", got, 11*3100)
+	}
+}
+
+func TestStripedMatchesWavefront(t *testing.T) {
+	// Property: both intra-task kernels agree on random pairs.
+	rng := rand.New(rand.NewSource(403))
+	q := profile.NewQuery(randProtein(rng, 90).Residues, submat.BLOSUM62)
+	bufS := NewBuffers(stripedLanes)
+	bufW := NewBuffers(stripedLanes)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := randProtein(r, r.Intn(150)+1)
+		return alignPairStriped(q, b.Residues, testParamsBase, bufS) ==
+			alignPairIntra(q, b.Residues, testParamsBase, bufW)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineStripedIntraOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	seqs := []*sequence.Sequence{
+		randProtein(rng, 40),
+		randProtein(rng, 3500), // routed to the intra kernel
+		randProtein(rng, 80),
+	}
+	db := seqdb.New(seqs, true)
+	query := randProtein(rng, 60)
+	want := oracleScores(db, query.Residues)
+	e := testEngine(t, db)
+
+	opt := defaultSearchOptions()
+	opt.StripedIntra = true
+	res, err := e.Search(query, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if int(res.Scores[i]) != want[i] {
+			t.Fatalf("striped intra: seq %d score %d, want %d", i, res.Scores[i], want[i])
+		}
+	}
+	if res.Stats.IntraCells != int64(query.Len())*3500 {
+		t.Fatalf("IntraCells = %d", res.Stats.IntraCells)
+	}
+}
+
+func TestStripedEmpty(t *testing.T) {
+	q := profile.NewQuery(nil, submat.BLOSUM62)
+	buf := NewBuffers(stripedLanes)
+	if got := alignPairStriped(q, randProtein(rand.New(rand.NewSource(1)), 10).Residues, testParamsBase, buf); got != 0 {
+		t.Fatalf("empty query: %d", got)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+// Stats aggregates the structural operation counts of kernel execution.
+// Counts are architecture-neutral facts about the computation (how many
+// vector iterations, how many profile builds, how many cells were useful
+// work versus padding); the device cost model in internal/device converts
+// them into simulated cycles.
+type Stats struct {
+	// Cells counts useful cell updates: query length times true database
+	// residues. This is the numerator of GCUPS.
+	Cells int64
+	// PaddedCells counts all cell updates performed, including lane
+	// padding; the gap to Cells is packing waste.
+	PaddedCells int64
+	// VecIters counts inner-loop iterations: vector iterations for the
+	// lane kernels, scalar iterations for no-vec.
+	VecIters int64
+	// Columns counts database-column passes (outer-loop iterations).
+	Columns int64
+	// SPBuilds counts score-profile row constructions (one per column per
+	// group in SP mode; each builds TableWidth lane vectors).
+	SPBuilds int64
+	// Gathers counts indexed score loads (one per inner iteration in QP
+	// mode).
+	Gathers int64
+	// Groups counts lane groups processed.
+	Groups int64
+	// Alignments counts database sequences aligned.
+	Alignments int64
+	// Overflows counts lanes whose 16-bit score saturated and were
+	// recomputed in 32 bits.
+	Overflows int64
+	// OverflowCells counts the extra scalar cell updates spent on those
+	// recomputations.
+	OverflowCells int64
+	// IntraCells counts cell updates performed by the intra-task
+	// (anti-diagonal) kernel that handles extremely long database
+	// sequences. They are also included in Cells.
+	IntraCells int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Cells += other.Cells
+	s.PaddedCells += other.PaddedCells
+	s.VecIters += other.VecIters
+	s.Columns += other.Columns
+	s.SPBuilds += other.SPBuilds
+	s.Gathers += other.Gathers
+	s.Groups += other.Groups
+	s.Alignments += other.Alignments
+	s.Overflows += other.Overflows
+	s.OverflowCells += other.OverflowCells
+	s.IntraCells += other.IntraCells
+}

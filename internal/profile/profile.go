@@ -1,0 +1,135 @@
+// Package profile implements the two substitution-score layouts studied by
+// the paper (Section IV):
+//
+//   - the query profile (QP): a |Q| x |E| table built once per query in the
+//     pre-processing stage, indexed in the inner loop by each lane's current
+//     database residue (a gather / non-contiguous access);
+//   - the score profile (SP, the paper's "sequence profile"): per database
+//     column, one L-lane score vector for every possible query residue,
+//     rebuilt as the kernel advances through the database group so the inner
+//     loop performs a single contiguous vector load.
+//
+// Both layouts are extended with a padding pseudo-residue used by the
+// inter-task kernels to neutralise the tails of lanes shorter than their
+// group: the pad scores so negatively that padded cells can never raise a
+// lane's running maximum.
+package profile
+
+import (
+	"heterosw/internal/alphabet"
+	"heterosw/internal/submat"
+	"heterosw/internal/vec"
+)
+
+// PadIndex is the residue index used for lane padding in interleaved
+// database groups. It is one past the last real alphabet code.
+const PadIndex = alphabet.Size
+
+// TableWidth is the residue-index range of profile tables: the alphabet
+// plus the padding pseudo-residue.
+const TableWidth = alphabet.Size + 1
+
+// PadScore is the substitution score of the padding pseudo-residue against
+// anything. It is negative enough that a padded column always strictly
+// decreases H (the largest real substitution score is ~17), yet small
+// enough that no int32 arithmetic in the guided kernels can wrap.
+const PadScore = -1024
+
+// Query carries everything the kernels need about one query sequence: the
+// encoded residues, the query profile, and the pad-extended substitution
+// table used to build score profiles.
+type Query struct {
+	// Seq is the encoded query of length M.
+	Seq []alphabet.Code
+	// Matrix is the substitution matrix the profiles were built from.
+	Matrix *submat.Matrix
+	// QP is the query profile, row-major (M rows x TableWidth columns):
+	// QP[(i-1)*TableWidth + e] = V(q_i, e). The PadIndex column holds
+	// PadScore.
+	QP []int16
+	// Ext is the pad-extended substitution table:
+	// Ext[e*TableWidth + d] = V(e, d), with PadScore wherever either index
+	// is the padding pseudo-residue.
+	Ext []int16
+	// MaxScore is Matrix.Max(), cached for overflow thresholds.
+	MaxScore int
+}
+
+// NewQuery builds the profiles for a query under a substitution matrix.
+func NewQuery(seq []alphabet.Code, m *submat.Matrix) *Query {
+	q := &Query{
+		Seq:      seq,
+		Matrix:   m,
+		QP:       make([]int16, len(seq)*TableWidth),
+		Ext:      make([]int16, TableWidth*TableWidth),
+		MaxScore: m.Max(),
+	}
+	for e := 0; e < alphabet.Size; e++ {
+		row := m.Row(alphabet.Code(e))
+		base := e * TableWidth
+		for d := 0; d < alphabet.Size; d++ {
+			q.Ext[base+d] = int16(row[d])
+		}
+		q.Ext[base+PadIndex] = PadScore
+	}
+	padBase := PadIndex * TableWidth
+	for d := 0; d < TableWidth; d++ {
+		q.Ext[padBase+d] = PadScore
+	}
+	for i, r := range seq {
+		copy(q.QP[i*TableWidth:(i+1)*TableWidth], q.Ext[int(r)*TableWidth:(int(r)+1)*TableWidth])
+	}
+	return q
+}
+
+// Len returns the query length M.
+func (q *Query) Len() int { return len(q.Seq) }
+
+// QPRow returns the query-profile row for query position i (0-based): the
+// scores of q_i against every residue index including the pad.
+func (q *Query) QPRow(i int) []int16 {
+	return q.QP[i*TableWidth : (i+1)*TableWidth]
+}
+
+// ExtRow returns the pad-extended substitution row for residue index e.
+func (q *Query) ExtRow(e int) []int16 {
+	return q.Ext[e*TableWidth : (e+1)*TableWidth]
+}
+
+// ScoreRows is the score-profile scratch for one database column: for every
+// residue index e, an L-lane vector of V(e, d_l) where d_l is lane l's
+// current database residue. Laid out row-major with stride = lane count, so
+// Row(e) is the contiguous vector the paper's SP inner loop loads.
+type ScoreRows struct {
+	lanes int
+	rows  []int16 // TableWidth * lanes
+}
+
+// NewScoreRows allocates score-profile scratch for the given lane count.
+func NewScoreRows(lanes int) *ScoreRows {
+	return &ScoreRows{lanes: lanes, rows: make([]int16, TableWidth*lanes)}
+}
+
+// Lanes returns the lane count the scratch was built for.
+func (sr *ScoreRows) Lanes() int { return sr.lanes }
+
+// Build fills the score rows for the current column's lane residues.
+// residues must have length Lanes(); entries are residue indices in
+// [0, TableWidth).
+func (sr *ScoreRows) Build(q *Query, residues []uint8) {
+	L := sr.lanes
+	// Walk lane-major: each lane copies the d-th column of Ext, i.e. one
+	// strided pass per lane — the transposition the real SP code performs
+	// with vector inserts.
+	for l, d := range residues {
+		src := q.Ext[int(d):] // column d via stride TableWidth
+		for e := 0; e < TableWidth; e++ {
+			sr.rows[e*L+l] = src[e*TableWidth]
+		}
+	}
+}
+
+// Row returns the L-lane score vector for query residue index e.
+func (sr *ScoreRows) Row(e int) vec.I16 {
+	return vec.I16(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
+}

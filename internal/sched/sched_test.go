@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func totalCost(costs []float64) float64 {
+	var s float64
+	for _, c := range costs {
+		s += c
+	}
+	return s
+}
+
+func randCosts(rng *rand.Rand, n int, skew float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 + skew*rng.Float64()*rng.Float64()*100
+	}
+	return out
+}
+
+func TestSimulateSingleThread(t *testing.T) {
+	costs := []float64{3, 1, 4, 1, 5}
+	for _, p := range []Policy{Static, Dynamic, Guided} {
+		r := Simulate(costs, 1, p, 1, 0)
+		if r.Makespan != 14 {
+			t.Errorf("%v: makespan %v, want 14", p, r.Makespan)
+		}
+	}
+}
+
+func TestSimulateMakespanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 50; trial++ {
+		costs := randCosts(rng, rng.Intn(500)+1, 1)
+		threads := rng.Intn(64) + 1
+		total := totalCost(costs)
+		var maxC float64
+		for _, c := range costs {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for _, p := range []Policy{Static, Dynamic, Guided} {
+			r := Simulate(costs, threads, p, 1, 0)
+			lower := total / float64(threads)
+			if maxC > lower {
+				lower = maxC
+			}
+			if r.Makespan < lower-1e-9 {
+				t.Fatalf("%v: makespan %v below lower bound %v", p, r.Makespan, lower)
+			}
+			if r.Makespan > total+1e-9 {
+				t.Fatalf("%v: makespan %v above serial time %v", p, r.Makespan, total)
+			}
+			var busy float64
+			for _, v := range r.PerThread {
+				busy += v
+			}
+			if busy < total-1e-6 {
+				t.Fatalf("%v: work lost: %v < %v", p, busy, total)
+			}
+		}
+	}
+}
+
+func TestDynamicBeatsStaticOnSkewedLoad(t *testing.T) {
+	// A sorted-descending cost pattern with a few huge chunks up front:
+	// static's contiguous blocks give thread 0 all the heavy work.
+	costs := make([]float64, 256)
+	for i := range costs {
+		costs[i] = 1
+	}
+	for i := 0; i < 16; i++ {
+		costs[i] = 100
+	}
+	static := Simulate(costs, 16, Static, 1, 0)
+	dynamic := Simulate(costs, 16, Dynamic, 1, 0)
+	guided := Simulate(costs, 16, Guided, 1, 0)
+	if dynamic.Makespan >= static.Makespan {
+		t.Fatalf("dynamic %v >= static %v", dynamic.Makespan, static.Makespan)
+	}
+	if guided.Makespan >= static.Makespan {
+		t.Fatalf("guided %v >= static %v", guided.Makespan, static.Makespan)
+	}
+}
+
+func TestDynamicNearOptimalOnUniformLoad(t *testing.T) {
+	costs := make([]float64, 1024)
+	for i := range costs {
+		costs[i] = 2
+	}
+	r := Simulate(costs, 32, Dynamic, 1, 0)
+	ideal := totalCost(costs) / 32
+	if r.Makespan > ideal*1.01 {
+		t.Fatalf("dynamic makespan %v far above ideal %v", r.Makespan, ideal)
+	}
+	if got := r.Imbalance(); got > 0.01 {
+		t.Fatalf("imbalance %v", got)
+	}
+}
+
+func TestDispatchOverheadCounted(t *testing.T) {
+	costs := make([]float64, 100)
+	for i := range costs {
+		costs[i] = 1
+	}
+	noOv := Simulate(costs, 4, Dynamic, 1, 0)
+	withOv := Simulate(costs, 4, Dynamic, 1, 0.5)
+	if withOv.Makespan <= noOv.Makespan {
+		t.Fatalf("overhead ignored: %v <= %v", withOv.Makespan, noOv.Makespan)
+	}
+	// Guided dispatches far fewer chunks than dynamic,1 on uniform loads.
+	guided := Simulate(costs, 4, Guided, 1, 0.5)
+	if guided.Chunks >= withOv.Chunks {
+		t.Fatalf("guided chunks %d >= dynamic chunks %d", guided.Chunks, withOv.Chunks)
+	}
+}
+
+func TestSimulateChunkSizes(t *testing.T) {
+	costs := randCosts(rand.New(rand.NewSource(61)), 333, 1)
+	for _, chunk := range []int{1, 4, 16, 100, 1000} {
+		r := Simulate(costs, 8, Dynamic, chunk, 0)
+		if r.Makespan < totalCost(costs)/8-1e-9 {
+			t.Fatalf("chunk %d: impossible makespan", chunk)
+		}
+	}
+}
+
+func TestSimulateEmptyAndDegenerate(t *testing.T) {
+	r := Simulate(nil, 8, Dynamic, 1, 0)
+	if r.Makespan != 0 || r.Chunks != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	r = Simulate([]float64{5}, 0, Static, 0, 0) // threads/chunk clamped
+	if r.Makespan != 5 {
+		t.Fatalf("degenerate: %+v", r)
+	}
+}
+
+func TestStaticDeterministicPartition(t *testing.T) {
+	costs := randCosts(rand.New(rand.NewSource(62)), 97, 1)
+	a := Simulate(costs, 10, Static, 1, 0)
+	b := Simulate(costs, 10, Static, 1, 0)
+	for i := range a.PerThread {
+		if a.PerThread[i] != b.PerThread[i] {
+			t.Fatal("static schedule not deterministic")
+		}
+	}
+}
+
+// Property: makespan is monotonically non-increasing in thread count for
+// dynamic scheduling (more threads never hurt without contention).
+func TestDynamicMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		costs := randCosts(r, r.Intn(200)+1, 2)
+		prev := Simulate(costs, 1, Dynamic, 1, 0).Makespan
+		for _, th := range []int{2, 4, 8, 16} {
+			cur := Simulate(costs, th, Dynamic, 1, 0).Makespan
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelVisitsAllOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 64} {
+		n := 1000
+		visited := make([]atomic.Int32, n)
+		Parallel(n, workers, func(i, worker int) {
+			visited[i].Add(1)
+		})
+		for i := range visited {
+			if visited[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, visited[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelWorkerIDsInRange(t *testing.T) {
+	var bad atomic.Int32
+	Parallel(500, 7, func(i, worker int) {
+		if worker < 0 || worker >= 7 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d out-of-range worker ids", bad.Load())
+	}
+}
+
+func TestParallelZero(t *testing.T) {
+	called := false
+	Parallel(0, 4, func(i, worker int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Static, Dynamic, Guided} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("auto"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+}

@@ -1,0 +1,232 @@
+// Package seqdb implements the reference-database side of the search
+// engine: loading, the length-sorting pre-processing step the paper applies
+// before scheduling (step 2 of Algorithm 1), packing sequences into
+// SIMD lane groups for the inter-task kernels, and the static database
+// split between host and coprocessor used by the heterogeneous version
+// (step 2 of Algorithm 2).
+package seqdb
+
+import (
+	"fmt"
+	"sort"
+
+	"heterosw/internal/profile"
+	"heterosw/internal/sequence"
+)
+
+// Database is an immutable, optionally length-sorted collection of target
+// sequences. The sort order is kept as a permutation so hit reporting can
+// refer back to the caller's sequence order.
+type Database struct {
+	seqs   []*sequence.Sequence
+	order  []int // processing order: indices into seqs
+	sorted bool
+
+	totalResidues int64
+	maxLen        int
+}
+
+// New builds a database over seqs. When sortByLength is true the processing
+// order is shortest-first, the optimisation the paper adopts from [14] so
+// that consecutive alignment operations take similar time and lane groups
+// waste little padding. (Ascending order also keeps the geometrically
+// shrinking chunks of OpenMP guided scheduling balanced, which is why the
+// paper finds guided only slightly behind dynamic.) seqs is not copied and
+// must not be mutated.
+func New(seqs []*sequence.Sequence, sortByLength bool) *Database {
+	db := &Database{
+		seqs:   seqs,
+		order:  make([]int, len(seqs)),
+		sorted: sortByLength,
+	}
+	for i, s := range seqs {
+		db.order[i] = i
+		db.totalResidues += int64(s.Len())
+		if s.Len() > db.maxLen {
+			db.maxLen = s.Len()
+		}
+	}
+	if sortByLength {
+		sort.SliceStable(db.order, func(a, b int) bool {
+			return seqs[db.order[a]].Len() < seqs[db.order[b]].Len()
+		})
+	}
+	return db
+}
+
+// Len returns the number of sequences.
+func (db *Database) Len() int { return len(db.seqs) }
+
+// Seq returns the sequence with the caller-visible index i (original
+// order).
+func (db *Database) Seq(i int) *sequence.Sequence { return db.seqs[i] }
+
+// Sorted reports whether the processing order is length-sorted.
+func (db *Database) Sorted() bool { return db.sorted }
+
+// Residues returns the total residue count, the denominator scale of the
+// GCUPS metric.
+func (db *Database) Residues() int64 { return db.totalResidues }
+
+// MaxLen returns the longest sequence length.
+func (db *Database) MaxLen() int { return db.maxLen }
+
+// MeanLen returns the mean sequence length.
+func (db *Database) MeanLen() float64 {
+	if len(db.seqs) == 0 {
+		return 0
+	}
+	return float64(db.totalResidues) / float64(len(db.seqs))
+}
+
+// String summarises the database.
+func (db *Database) String() string {
+	return fmt.Sprintf("seqdb: %d sequences, %d residues, max length %d, sorted=%v",
+		db.Len(), db.totalResidues, db.maxLen, db.sorted)
+}
+
+// LaneGroup packs up to Lanes database sequences for simultaneous
+// alignment by the inter-task kernels. Residues are interleaved
+// column-major: Interleaved[j*Lanes+l] is residue j of lane l, or
+// profile.PadIndex beyond lane l's true length.
+type LaneGroup struct {
+	// Lanes is the SIMD width the group was packed for.
+	Lanes int
+	// Width is the padded column count: the longest member's length.
+	Width int
+	// SeqIdx maps lanes to database sequence indices (original order);
+	// -1 marks an empty padding lane.
+	SeqIdx []int
+	// Lens holds each lane's true length (0 for empty lanes).
+	Lens []int
+	// Interleaved is the Width x Lanes residue-index matrix.
+	Interleaved []uint8
+	// Residues is the sum of true lane lengths: the useful cells per
+	// query residue this group contributes.
+	Residues int64
+}
+
+// Groups packs the whole database processing order into lane groups of the
+// given width (no long-sequence routing). With a length-sorted database,
+// members of a group have nearly equal lengths and padding waste is
+// minimal; unsorted packing is supported to reproduce the paper's
+// motivation for pre-sorting.
+func (db *Database) Groups(lanes int) []*LaneGroup {
+	groups, _ := db.Partition(lanes, 0)
+	return groups
+}
+
+// Partition splits the processing order into inter-task lane groups and a
+// list of long sequences (length > longThreshold, database indices in
+// caller order) destined for the intra-task kernel. longThreshold <= 0
+// disables routing and packs everything into groups.
+func (db *Database) Partition(lanes, longThreshold int) ([]*LaneGroup, []int) {
+	if lanes < 1 {
+		panic(fmt.Sprintf("seqdb: invalid lane count %d", lanes))
+	}
+	order := db.order
+	var long []int
+	if longThreshold > 0 {
+		short := make([]int, 0, len(order))
+		for _, idx := range order {
+			if db.seqs[idx].Len() > longThreshold {
+				long = append(long, idx)
+			} else {
+				short = append(short, idx)
+			}
+		}
+		order = short
+	}
+	n := len(order)
+	groups := make([]*LaneGroup, 0, (n+lanes-1)/lanes)
+	for start := 0; start < n; start += lanes {
+		end := start + lanes
+		if end > n {
+			end = n
+		}
+		g := &LaneGroup{
+			Lanes:  lanes,
+			SeqIdx: make([]int, lanes),
+			Lens:   make([]int, lanes),
+		}
+		for l := 0; l < lanes; l++ {
+			g.SeqIdx[l] = -1
+		}
+		for l, oi := start, 0; l < end; l, oi = l+1, oi+1 {
+			idx := order[l]
+			s := db.seqs[idx]
+			g.SeqIdx[oi] = idx
+			g.Lens[oi] = s.Len()
+			g.Residues += int64(s.Len())
+			if s.Len() > g.Width {
+				g.Width = s.Len()
+			}
+		}
+		g.Interleaved = make([]uint8, g.Width*lanes)
+		for i := range g.Interleaved {
+			g.Interleaved[i] = profile.PadIndex
+		}
+		for oi := 0; oi < end-start; oi++ {
+			res := db.seqs[g.SeqIdx[oi]].Residues
+			for j, c := range res {
+				g.Interleaved[j*lanes+oi] = uint8(c)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, long
+}
+
+// PaddedCells returns Width*Lanes, the cell updates per query residue the
+// kernels actually perform for this group (including padding waste).
+func (g *LaneGroup) PaddedCells() int64 { return int64(g.Width) * int64(g.Lanes) }
+
+// PaddingEfficiency summarises packing quality over groups: the ratio of
+// useful residues to padded residues (1.0 = no waste).
+func PaddingEfficiency(groups []*LaneGroup) float64 {
+	var useful, padded int64
+	for _, g := range groups {
+		useful += g.Residues
+		padded += g.PaddedCells()
+	}
+	if padded == 0 {
+		return 1
+	}
+	return float64(useful) / float64(padded)
+}
+
+// Split partitions the database into two databases holding approximately
+// frac and 1-frac of the residues — the static workload distribution of
+// Algorithm 2 (first return value plays the coprocessor's part). Sequences
+// are dealt greedily in processing order so both halves inherit the full
+// length distribution; each half preserves the parent's sort mode.
+func (db *Database) Split(frac float64) (first, second *Database) {
+	if frac <= 0 {
+		return New(nil, db.sorted), New(db.seqsInOrder(), db.sorted)
+	}
+	if frac >= 1 {
+		return New(db.seqsInOrder(), db.sorted), New(nil, db.sorted)
+	}
+	var a, b []*sequence.Sequence
+	var ra, rb int64
+	for _, idx := range db.order {
+		s := db.seqs[idx]
+		// Assign to whichever side is furthest below its residue target.
+		if float64(ra)*(1-frac) <= float64(rb)*frac {
+			a = append(a, s)
+			ra += int64(s.Len())
+		} else {
+			b = append(b, s)
+			rb += int64(s.Len())
+		}
+	}
+	return New(a, db.sorted), New(b, db.sorted)
+}
+
+func (db *Database) seqsInOrder() []*sequence.Sequence {
+	out := make([]*sequence.Sequence, len(db.order))
+	for i, idx := range db.order {
+		out[i] = db.seqs[idx]
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package seqdb
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"heterosw/internal/device"
+	"heterosw/internal/profile"
+	"heterosw/internal/sequence"
+)
+
+func makeSeqs(rng *rand.Rand, n, maxLen int) []*sequence.Sequence {
+	letters := "ARNDCQEGHILKMFPSTWYV"
+	out := make([]*sequence.Sequence, n)
+	for i := range out {
+		L := rng.Intn(maxLen) + 1
+		var sb strings.Builder
+		for j := 0; j < L; j++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		out[i] = sequence.FromString(string(rune('A'+i%26))+"seq", sb.String())
+	}
+	return out
+}
+
+func TestNewStats(t *testing.T) {
+	seqs := []*sequence.Sequence{
+		sequence.FromString("a", "ARND"),
+		sequence.FromString("b", "AR"),
+		sequence.FromString("c", "ARNDCQ"),
+	}
+	db := New(seqs, true)
+	if db.Len() != 3 || db.Residues() != 12 || db.MaxLen() != 6 {
+		t.Fatalf("stats wrong: %s", db)
+	}
+	if db.MeanLen() != 4 {
+		t.Fatalf("MeanLen = %v", db.MeanLen())
+	}
+	if !db.Sorted() {
+		t.Fatal("Sorted() = false")
+	}
+}
+
+func TestSortOrderShortestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	seqs := makeSeqs(rng, 100, 50)
+	db := New(seqs, true)
+	groups := db.Groups(1)
+	prev := 0
+	for _, g := range groups {
+		if g.Lens[0] < prev {
+			t.Fatalf("order not ascending: %d after %d", g.Lens[0], prev)
+		}
+		prev = g.Lens[0]
+	}
+}
+
+func TestUnsortedKeepsOrder(t *testing.T) {
+	seqs := []*sequence.Sequence{
+		sequence.FromString("a", "AR"),
+		sequence.FromString("b", "ARNDCQ"),
+	}
+	db := New(seqs, false)
+	groups := db.Groups(1)
+	if groups[0].SeqIdx[0] != 0 || groups[1].SeqIdx[0] != 1 {
+		t.Fatal("unsorted database reordered sequences")
+	}
+}
+
+func TestGroupsInterleaving(t *testing.T) {
+	seqs := []*sequence.Sequence{
+		sequence.FromString("a", "ARND"),
+		sequence.FromString("b", "WY"),
+		sequence.FromString("c", "CCC"),
+	}
+	db := New(seqs, true) // ascending order: b(2), c(3), a(4)
+	groups := db.Groups(2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	g := groups[0]
+	if g.Width != 3 || g.Lanes != 2 {
+		t.Fatalf("group shape %d x %d", g.Width, g.Lanes)
+	}
+	if g.SeqIdx[0] != 1 || g.SeqIdx[1] != 2 {
+		t.Fatalf("group members %v", g.SeqIdx)
+	}
+	// Column 0: residues W (from b) and C (from c); column 2: pad and C.
+	b0 := seqs[1].Residues[0]
+	c0 := seqs[2].Residues[0]
+	if g.Interleaved[0] != uint8(b0) || g.Interleaved[1] != uint8(c0) {
+		t.Fatalf("column 0 = %v", g.Interleaved[:2])
+	}
+	if g.Interleaved[2*2+0] != profile.PadIndex {
+		t.Fatalf("lane 0 tail not padded: %d", g.Interleaved[2*2+0])
+	}
+	if g.Residues != 5 {
+		t.Fatalf("group residues %d", g.Residues)
+	}
+	// Second group: single member a, one empty lane.
+	g2 := groups[1]
+	if g2.SeqIdx[0] != 0 || g2.SeqIdx[1] != -1 || g2.Lens[1] != 0 {
+		t.Fatalf("tail group %v / %v", g2.SeqIdx, g2.Lens)
+	}
+	for j := 0; j < g2.Width; j++ {
+		if g2.Interleaved[j*2+1] != profile.PadIndex {
+			t.Fatalf("empty lane has residue at column %d", j)
+		}
+	}
+}
+
+func TestGroupsCoverDatabaseExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	seqs := makeSeqs(rng, 137, 80)
+	db := New(seqs, true)
+	for _, lanes := range []int{1, 4, 16, 32} {
+		groups := db.Groups(lanes)
+		seen := make(map[int]int)
+		var residues int64
+		for _, g := range groups {
+			for l, idx := range g.SeqIdx {
+				if idx == -1 {
+					if g.Lens[l] != 0 {
+						t.Fatalf("empty lane with length %d", g.Lens[l])
+					}
+					continue
+				}
+				seen[idx]++
+				if g.Lens[l] != seqs[idx].Len() {
+					t.Fatalf("lane length mismatch for seq %d", idx)
+				}
+			}
+			residues += g.Residues
+		}
+		if len(seen) != len(seqs) {
+			t.Fatalf("lanes=%d: %d distinct sequences, want %d", lanes, len(seen), len(seqs))
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("sequence %d packed %d times", idx, c)
+			}
+		}
+		if residues != db.Residues() {
+			t.Fatalf("lanes=%d: group residues %d != %d", lanes, residues, db.Residues())
+		}
+	}
+}
+
+func TestSortedPackingBeatsUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	seqs := makeSeqs(rng, 512, 400)
+	sorted := PaddingEfficiency(New(seqs, true).Groups(16))
+	unsorted := PaddingEfficiency(New(seqs, false).Groups(16))
+	if sorted <= unsorted {
+		t.Fatalf("sorted efficiency %.3f <= unsorted %.3f", sorted, unsorted)
+	}
+	if sorted < 0.9 {
+		t.Fatalf("sorted packing efficiency %.3f unexpectedly poor", sorted)
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seqs := makeSeqs(rng, 400, 120)
+	db := New(seqs, true)
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.55, 0.9} {
+		first, second := db.Split(frac)
+		if first.Len()+second.Len() != db.Len() {
+			t.Fatalf("frac %.2f: split loses sequences", frac)
+		}
+		if first.Residues()+second.Residues() != db.Residues() {
+			t.Fatalf("frac %.2f: split loses residues", frac)
+		}
+		got := float64(first.Residues()) / float64(db.Residues())
+		if got < frac-0.03 || got > frac+0.03 {
+			t.Fatalf("frac %.2f: first half has %.3f of residues", frac, got)
+		}
+	}
+}
+
+func TestSplitEdges(t *testing.T) {
+	db := New(makeSeqs(rand.New(rand.NewSource(24)), 10, 30), true)
+	first, second := db.Split(0)
+	if first.Len() != 0 || second.Len() != 10 {
+		t.Fatalf("Split(0) = %d/%d", first.Len(), second.Len())
+	}
+	first, second = db.Split(1)
+	if first.Len() != 10 || second.Len() != 0 {
+		t.Fatalf("Split(1) = %d/%d", first.Len(), second.Len())
+	}
+}
+
+// Property: for any lane width and any split fraction, no sequence is lost
+// or duplicated across the split.
+func TestSplitPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	f := func(n uint8, fr uint8) bool {
+		seqs := makeSeqs(rng, int(n%60)+1, 50)
+		db := New(seqs, true)
+		frac := float64(fr%101) / 100
+		a, b := db.Split(frac)
+		ids := make(map[*sequence.Sequence]int)
+		for i := 0; i < a.Len(); i++ {
+			ids[a.Seq(i)]++
+		}
+		for i := 0; i < b.Len(); i++ {
+			ids[b.Seq(i)]++
+		}
+		if len(ids) != len(seqs) {
+			return false
+		}
+		for _, c := range ids {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupsPanicsOnBadLanes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Groups(0) did not panic")
+		}
+	}()
+	New(nil, true).Groups(0)
+}
+
+// PackShapes must reproduce the exact geometry Partition produces on a
+// materialised database: the shape-only simulation path and the functional
+// engine path must never diverge.
+func TestPackShapesMatchesPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	seqs := makeSeqs(rng, 300, 500)
+	// Give a few sequences lengths beyond a routing threshold.
+	seqs = append(seqs, sequence.FromString("long1", strings.Repeat("A", 700)))
+	seqs = append(seqs, sequence.FromString("long2", strings.Repeat("W", 900)))
+	db := New(seqs, true)
+	lengths := make([]int, db.Len())
+	for i := range lengths {
+		lengths[i] = db.Seq(i).Len()
+	}
+	for _, lanes := range []int{1, 8, 16, 32} {
+		for _, thr := range []int{0, 600} {
+			groups, long := db.Partition(lanes, thr)
+			shapes := PackShapes(lengths, lanes, true, thr)
+			var fromGroups []device.Shape
+			for _, idx := range long {
+				l := db.Seq(idx).Len()
+				fromGroups = append(fromGroups, device.Shape{Width: l, Lanes: 1, Residues: int64(l), Intra: true})
+			}
+			for _, g := range groups {
+				fromGroups = append(fromGroups, device.Shape{Width: g.Width, Lanes: g.Lanes, Residues: g.Residues})
+			}
+			if len(shapes) != len(fromGroups) {
+				t.Fatalf("lanes=%d thr=%d: %d shapes vs %d group shapes", lanes, thr, len(shapes), len(fromGroups))
+			}
+			// Same multiset: compare sorted by (Width, Residues).
+			key := func(s device.Shape) [3]int64 {
+				intra := int64(0)
+				if s.Intra {
+					intra = 1
+				}
+				return [3]int64{int64(s.Width), s.Residues, intra}
+			}
+			sortShapes := func(v []device.Shape) {
+				sort.Slice(v, func(a, b int) bool {
+					ka, kb := key(v[a]), key(v[b])
+					for i := range ka {
+						if ka[i] != kb[i] {
+							return ka[i] < kb[i]
+						}
+					}
+					return false
+				})
+			}
+			sortShapes(shapes)
+			sortShapes(fromGroups)
+			for i := range shapes {
+				if shapes[i] != fromGroups[i] {
+					t.Fatalf("lanes=%d thr=%d: shape %d differs: %+v vs %+v",
+						lanes, thr, i, shapes[i], fromGroups[i])
+				}
+			}
+		}
+	}
+}

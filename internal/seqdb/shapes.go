@@ -1,0 +1,85 @@
+package seqdb
+
+import (
+	"sort"
+
+	"heterosw/internal/device"
+)
+
+// PackShapes computes the scheduler-chunk geometry that Partition would
+// produce for a database with the given sequence lengths, without
+// materialising any residues. This is what lets experiments simulate the
+// full 541,561-sequence Swiss-Prot in milliseconds: the device cost model
+// depends only on chunk shapes.
+//
+// sortAsc applies the shortest-first pre-processing (step 2 of Algorithm
+// 1); when false the input order is packed as-is, reproducing the padding
+// waste and load imbalance of an unsorted database. Sequences longer than
+// longThreshold (when > 0) become single intra-task chunks, mirroring the
+// engine's long-sequence routing.
+func PackShapes(lengths []int, lanes int, sortAsc bool, longThreshold int) []device.Shape {
+	if lanes < 1 {
+		panic("seqdb: invalid lane count")
+	}
+	ls := lengths
+	if sortAsc {
+		ls = append([]int(nil), lengths...)
+		sort.Ints(ls)
+	}
+	var shapes []device.Shape
+	var short []int
+	if longThreshold > 0 {
+		short = make([]int, 0, len(ls))
+		for _, l := range ls {
+			if l > longThreshold {
+				shapes = append(shapes, device.Shape{
+					Width: l, Lanes: 1, Residues: int64(l), Intra: true,
+				})
+			} else {
+				short = append(short, l)
+			}
+		}
+		ls = short
+	}
+	for start := 0; start < len(ls); start += lanes {
+		end := start + lanes
+		if end > len(ls) {
+			end = len(ls)
+		}
+		s := device.Shape{Lanes: lanes}
+		for _, l := range ls[start:end] {
+			s.Residues += int64(l)
+			if l > s.Width {
+				s.Width = l
+			}
+		}
+		shapes = append(shapes, s)
+	}
+	return shapes
+}
+
+// SplitLengths partitions lengths into two parts holding approximately frac
+// and 1-frac of the residues, using the same greedy deal as
+// Database.Split over the shortest-first order. It serves the shape-level
+// simulation of the heterogeneous split sweep.
+func SplitLengths(lengths []int, frac float64) (first, second []int) {
+	ls := append([]int(nil), lengths...)
+	sort.Ints(ls)
+	if frac <= 0 {
+		return nil, ls
+	}
+	if frac >= 1 {
+		return ls, nil
+	}
+	var ra, rb int64
+	for _, l := range ls {
+		if float64(ra)*(1-frac) <= float64(rb)*frac {
+			first = append(first, l)
+			ra += int64(l)
+		} else {
+			second = append(second, l)
+			rb += int64(l)
+		}
+	}
+	return first, second
+}

@@ -1,0 +1,65 @@
+// Package sequence defines the protein sequence representation shared by
+// the database engine and alignment kernels, together with FASTA input and
+// output.
+//
+// Residues are stored pre-encoded (alphabet.Code) so that alignment inner
+// loops never translate bytes. A Sequence is immutable after construction
+// by convention: the engine shares the underlying residue slices across
+// goroutines without copying.
+package sequence
+
+import (
+	"fmt"
+
+	"heterosw/internal/alphabet"
+)
+
+// Sequence is a named, encoded protein sequence.
+type Sequence struct {
+	// ID is the FASTA identifier (first whitespace-delimited token of the
+	// header), e.g. an accession number.
+	ID string
+	// Desc is the remainder of the FASTA header, possibly empty.
+	Desc string
+	// Residues holds the encoded residues. Shared, not copied; treat as
+	// read-only.
+	Residues []alphabet.Code
+}
+
+// New encodes an ASCII residue string into a Sequence. Unrecognised bytes
+// map to the unknown residue X, mirroring the tolerant behaviour of common
+// search tools.
+func New(id string, residues []byte) *Sequence {
+	return &Sequence{ID: id, Residues: alphabet.EncodeAll(residues)}
+}
+
+// FromString is a convenience wrapper over New for literal sequences.
+func FromString(id, residues string) *Sequence {
+	return New(id, []byte(residues))
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int { return len(s.Residues) }
+
+// String renders the residues as ASCII letters.
+func (s *Sequence) String() string { return string(alphabet.DecodeAll(s.Residues)) }
+
+// Header renders the FASTA header line content (without the leading '>').
+func (s *Sequence) Header() string {
+	if s.Desc == "" {
+		return s.ID
+	}
+	return fmt.Sprintf("%s %s", s.ID, s.Desc)
+}
+
+// Slice returns a view of residues [from, to) as a new Sequence sharing the
+// underlying storage. The ID records the coordinates for traceability.
+func (s *Sequence) Slice(from, to int) *Sequence {
+	if from < 0 || to > len(s.Residues) || from > to {
+		panic(fmt.Sprintf("sequence: bad slice [%d,%d) of %s (len %d)", from, to, s.ID, len(s.Residues)))
+	}
+	return &Sequence{
+		ID:       fmt.Sprintf("%s[%d:%d]", s.ID, from, to),
+		Residues: s.Residues[from:to],
+	}
+}

@@ -1,0 +1,99 @@
+// Package stats estimates the statistical significance of Smith-Waterman
+// database-search scores. Local-alignment scores of unrelated random
+// sequences follow an extreme-value (Gumbel) distribution
+// (Karlin & Altschul); instead of shipping precomputed parameters for a
+// single matrix, the model is fitted empirically to the score list of the
+// search itself — the bulk of a database is effectively random with
+// respect to any one query, so the sample is dominated by the null
+// distribution and true homologs appear as extreme outliers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EValueModel is a fitted Gumbel null model for one search's score list.
+type EValueModel struct {
+	// Lambda and Mu are the Gumbel parameters of the per-subject null
+	// score distribution.
+	Lambda, Mu float64
+	// N is the number of database sequences the model was fitted over
+	// (the trials count converting P-values to E-values).
+	N int
+	// Trimmed is the number of top scores excluded from the fit as
+	// suspected true positives.
+	Trimmed int
+}
+
+// eulerGamma is the Euler–Mascheroni constant appearing in the Gumbel
+// mean.
+const eulerGamma = 0.5772156649015329
+
+// FitEValues fits a Gumbel null model to a search's score list by the
+// method of moments, after trimming the top trimFrac fraction of scores
+// (suspected homologs; 0 selects the 1% default). At least 30 usable
+// scores are required.
+func FitEValues(scores []int, trimFrac float64) (*EValueModel, error) {
+	if trimFrac <= 0 {
+		trimFrac = 0.01
+	}
+	if trimFrac >= 0.5 {
+		return nil, fmt.Errorf("stats: trim fraction %v too large", trimFrac)
+	}
+	n := len(scores)
+	sorted := append([]int(nil), scores...)
+	sort.Ints(sorted)
+	trim := int(float64(n) * trimFrac)
+	if trim < 1 {
+		trim = 1
+	}
+	sample := sorted[:n-trim]
+	if len(sample) < 30 {
+		return nil, fmt.Errorf("stats: only %d scores after trimming; need >= 30", len(sample))
+	}
+
+	var sum, sumSq float64
+	for _, s := range sample {
+		v := float64(s)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(len(sample))
+	variance := sumSq/float64(len(sample)) - mean*mean
+	if variance <= 0 {
+		return nil, fmt.Errorf("stats: degenerate score distribution (variance %v)", variance)
+	}
+	// Gumbel: var = pi^2 / (6 lambda^2); mean = mu + gamma / lambda.
+	lambda := math.Pi / math.Sqrt(6*variance)
+	mu := mean - eulerGamma/lambda
+	return &EValueModel{Lambda: lambda, Mu: mu, N: n, Trimmed: trim}, nil
+}
+
+// PValue returns the probability that a single unrelated subject scores
+// >= s under the null model.
+func (m *EValueModel) PValue(s int) float64 {
+	z := m.Lambda * (float64(s) - m.Mu)
+	// P(S >= s) = 1 - exp(-exp(-z)); use expm1 for precision at large z.
+	return -math.Expm1(-math.Exp(-z))
+}
+
+// EValue returns the expected number of database subjects scoring >= s by
+// chance: N * PValue(s).
+func (m *EValueModel) EValue(s int) float64 {
+	return float64(m.N) * m.PValue(s)
+}
+
+// BitScore converts a raw score to bits under the fitted model, the
+// scale-free score used by BLAST-style reports: higher means less likely
+// by chance (score mu maps to 0 bits).
+func (m *EValueModel) BitScore(s int) float64 {
+	return m.Lambda * (float64(s) - m.Mu) / math.Ln2
+}
+
+// String summarises the fitted parameters.
+func (m *EValueModel) String() string {
+	return fmt.Sprintf("gumbel(lambda=%.4f, mu=%.2f) over %d subjects (%d trimmed)",
+		m.Lambda, m.Mu, m.N, m.Trimmed)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gumbelSample draws from Gumbel(mu, lambda).
+func gumbelSample(rng *rand.Rand, mu, lambda float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return mu - math.Log(-math.Log(u))/lambda
+}
+
+func TestFitRecoversKnownParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	const mu, lambda = 40.0, 0.25
+	scores := make([]int, 20000)
+	for i := range scores {
+		scores[i] = int(math.Round(gumbelSample(rng, mu, lambda)))
+	}
+	m, err := FitEValues(scores, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-mu) > 1.5 {
+		t.Errorf("mu = %.2f, want ~%.1f", m.Mu, mu)
+	}
+	if math.Abs(m.Lambda-lambda) > 0.03 {
+		t.Errorf("lambda = %.4f, want ~%.2f", m.Lambda, lambda)
+	}
+}
+
+func TestEValueMonotoneDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	scores := make([]int, 5000)
+	for i := range scores {
+		scores[i] = int(gumbelSample(rng, 35, 0.3))
+	}
+	m, err := FitEValues(scores, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for s := 20; s < 200; s += 5 {
+		e := m.EValue(s)
+		if e > prev {
+			t.Fatalf("EValue not decreasing at %d: %v > %v", s, e, prev)
+		}
+		if e < 0 {
+			t.Fatalf("negative EValue %v", e)
+		}
+		prev = e
+	}
+}
+
+func TestEValueCalibration(t *testing.T) {
+	// ~half the sample should sit above the fitted median: E(median) ~ N/2.
+	rng := rand.New(rand.NewSource(502))
+	n := 10000
+	scores := make([]int, n)
+	for i := range scores {
+		scores[i] = int(gumbelSample(rng, 50, 0.2))
+	}
+	m, err := FitEValues(scores, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of Gumbel = mu - ln(ln 2)/lambda.
+	median := int(m.Mu - math.Log(math.Log(2))/m.Lambda)
+	e := m.EValue(median)
+	if e < float64(n)/4 || e > float64(n)*3/4 {
+		t.Errorf("EValue(median) = %.0f, want ~%d", e, n/2)
+	}
+	// A far outlier must be overwhelmingly significant.
+	if e := m.EValue(int(m.Mu + 100/m.Lambda)); e > 1e-6 {
+		t.Errorf("outlier EValue = %v", e)
+	}
+}
+
+func TestBitScore(t *testing.T) {
+	m := &EValueModel{Lambda: 0.25, Mu: 40, N: 1000}
+	if got := m.BitScore(40); math.Abs(got) > 1e-9 {
+		t.Errorf("BitScore(mu) = %v", got)
+	}
+	if m.BitScore(80) <= m.BitScore(60) {
+		t.Error("BitScore not increasing")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitEValues(make([]int, 10), 0.01); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	same := make([]int, 1000)
+	for i := range same {
+		same[i] = 42
+	}
+	if _, err := FitEValues(same, 0.01); err == nil {
+		t.Error("degenerate distribution accepted")
+	}
+	if _, err := FitEValues(make([]int, 1000), 0.9); err == nil {
+		t.Error("absurd trim accepted")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	m := &EValueModel{Lambda: 0.25, Mu: 40, N: 1000, Trimmed: 10}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,124 @@
+package submat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"heterosw/internal/alphabet"
+)
+
+// Parse reads a substitution matrix in the NCBI textual format: '#' comment
+// lines, a header row of residue letters, then one row per residue starting
+// with its letter followed by integer scores. Residues may appear in any
+// order and a subset of the alphabet is allowed; absent pairs score the
+// minimum of the parsed cells (mirroring how search tools treat rare codes).
+func Parse(name string, r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+
+	var header []alphabet.Code
+	var scores [alphabet.Size][alphabet.Size]int8
+	var seen [alphabet.Size][alphabet.Size]bool
+	rows := 0
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if header == nil {
+			for _, f := range fields {
+				if len(f) != 1 {
+					return nil, fmt.Errorf("submat: %s: bad header token %q", name, f)
+				}
+				c, ok := alphabet.Encode(f[0])
+				if !ok {
+					return nil, fmt.Errorf("submat: %s: unknown residue %q in header", name, f)
+				}
+				header = append(header, c)
+			}
+			continue
+		}
+		if len(fields) != len(header)+1 {
+			return nil, fmt.Errorf("submat: %s: row %q has %d scores, want %d",
+				name, fields[0], len(fields)-1, len(header))
+		}
+		if len(fields[0]) != 1 {
+			return nil, fmt.Errorf("submat: %s: bad row label %q", name, fields[0])
+		}
+		rowRes, ok := alphabet.Encode(fields[0][0])
+		if !ok {
+			return nil, fmt.Errorf("submat: %s: unknown row residue %q", name, fields[0])
+		}
+		for k, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("submat: %s: bad score %q in row %c: %v", name, f, fields[0][0], err)
+			}
+			if v < -128 || v > 127 {
+				return nil, fmt.Errorf("submat: %s: score %d out of int8 range", name, v)
+			}
+			scores[rowRes][header[k]] = int8(v)
+			seen[rowRes][header[k]] = true
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("submat: %s: %v", name, err)
+	}
+	if header == nil || rows == 0 {
+		return nil, fmt.Errorf("submat: %s: no matrix data found", name)
+	}
+
+	// Fill cells not covered by the file with the matrix minimum so that
+	// partial matrices still produce sane (strongly negative) scores.
+	minSeen := int8(127)
+	for i := range seen {
+		for j := range seen[i] {
+			if seen[i][j] && scores[i][j] < minSeen {
+				minSeen = scores[i][j]
+			}
+		}
+	}
+	for i := range seen {
+		for j := range seen[i] {
+			if !seen[i][j] {
+				scores[i][j] = minSeen
+			}
+		}
+	}
+	return New(name, scores)
+}
+
+// MustParse is like Parse on a string but panics on error. It is intended
+// for the built-in matrix literals, where a parse failure is a programming
+// error caught at package initialisation.
+func MustParse(name, text string) *Matrix {
+	m, err := Parse(name, strings.NewReader(text))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Format renders the matrix in NCBI textual form, suitable for Parse.
+func Format(m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n ", m.Name())
+	for i := 0; i < alphabet.Size; i++ {
+		fmt.Fprintf(&b, " %2c", alphabet.Letters[i])
+	}
+	b.WriteByte('\n')
+	for i := 0; i < alphabet.Size; i++ {
+		fmt.Fprintf(&b, "%c", alphabet.Letters[i])
+		for j := 0; j < alphabet.Size; j++ {
+			fmt.Fprintf(&b, " %2d", m.scores[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

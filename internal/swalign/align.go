@@ -1,0 +1,236 @@
+package swalign
+
+import (
+	"fmt"
+	"strings"
+
+	"heterosw/internal/alphabet"
+)
+
+// Op is one column class of a local alignment.
+type Op byte
+
+const (
+	// OpMatch aligns a residue of A against a residue of B (match or
+	// mismatch).
+	OpMatch Op = 'M'
+	// OpDeleteB aligns a gap in A against a residue of B.
+	OpDeleteB Op = 'D'
+	// OpInsertA aligns a residue of A against a gap in B.
+	OpInsertA Op = 'I'
+)
+
+// Alignment is the result of a full Smith-Waterman alignment with
+// backtracking (step 4 of Section II): the highest-scoring pair of local
+// segments and the edit path between them.
+type Alignment struct {
+	Score int
+	// AStart/AEnd delimit the aligned segment of A as a half-open
+	// residue range [AStart, AEnd); similarly BStart/BEnd for B.
+	AStart, AEnd int
+	BStart, BEnd int
+	// Ops is the alignment path from head to tail.
+	Ops []Op
+	// Identities counts exactly-matching residue columns.
+	Identities int
+
+	a, b []alphabet.Code
+}
+
+// Align computes the optimal local alignment between a and b using the full
+// O(M*N) matrix of Section II and recovers the alignment by backtracking
+// from the global maximum (Eq. 6) to the nearest zero cell. Ties are broken
+// preferring diagonal moves, then gaps in B, matching common tool
+// behaviour. Align panics on invalid scoring; it returns a zero-score,
+// empty alignment when either sequence is empty or no positive-scoring pair
+// exists.
+func Align(a, b []alphabet.Code, sc Scoring) *Alignment {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	out := &Alignment{a: a, b: b}
+	m, n := len(a), len(b)
+	if m == 0 || n == 0 {
+		return out
+	}
+	qr := sc.GapOpen + sc.GapExtend
+	r := sc.GapExtend
+
+	// Full matrices, row-major, (m+1) x (n+1). Initialisation per Eq. 1.
+	stride := n + 1
+	H := make([]int32, (m+1)*stride)
+	E := make([]int32, (m+1)*stride)
+	F := make([]int32, (m+1)*stride)
+	for j := 0; j <= n; j++ {
+		E[j], F[j] = negInf, negInf
+	}
+	bestI, bestJ, best := 0, 0, int32(0)
+	for i := 1; i <= m; i++ {
+		row := sc.Matrix.Row(a[i-1])
+		base := i * stride
+		prev := base - stride
+		E[base], F[base] = negInf, negInf
+		for j := 1; j <= n; j++ {
+			e := E[base+j-1] - int32(r)
+			if v := H[base+j-1] - int32(qr); v > e {
+				e = v
+			}
+			E[base+j] = e
+			f := F[prev+j] - int32(r)
+			if v := H[prev+j] - int32(qr); v > f {
+				f = v
+			}
+			F[base+j] = f
+			h := H[prev+j-1] + int32(row[b[j-1]])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			H[base+j] = h
+			if h > best {
+				best, bestI, bestJ = h, i, j
+			}
+		}
+	}
+	out.Score = int(best)
+	if best == 0 {
+		return out
+	}
+
+	// Backtracking state machine over (H, E, F).
+	type state byte
+	const (
+		inH state = iota
+		inE
+		inF
+	)
+	var ops []Op
+	i, j, st := bestI, bestJ, inH
+	for {
+		idx := i*stride + j
+		switch st {
+		case inH:
+			h := H[idx]
+			if h == 0 {
+				goto done
+			}
+			switch {
+			case i > 0 && j > 0 && h == H[idx-stride-1]+int32(sc.Matrix.Score(a[i-1], b[j-1])):
+				ops = append(ops, OpMatch)
+				if a[i-1] == b[j-1] {
+					out.Identities++
+				}
+				i, j = i-1, j-1
+			case h == E[idx]:
+				st = inE
+			case h == F[idx]:
+				st = inF
+			default:
+				panic(fmt.Sprintf("swalign: inconsistent H cell at (%d,%d)", i, j))
+			}
+		case inE: // gap consuming b[j-1]
+			ops = append(ops, OpDeleteB)
+			e := E[idx]
+			prevH := H[idx-1] - int32(qr)
+			j--
+			if e == prevH {
+				st = inH
+			} else if e != E[idx-1]-int32(r) {
+				panic(fmt.Sprintf("swalign: inconsistent E cell at (%d,%d)", i, j+1))
+			}
+		case inF: // gap consuming a[i-1]
+			ops = append(ops, OpInsertA)
+			f := F[idx]
+			prevH := H[idx-stride] - int32(qr)
+			i--
+			if f == prevH {
+				st = inH
+			} else if f != F[idx-stride]-int32(r) {
+				panic(fmt.Sprintf("swalign: inconsistent F cell at (%d,%d)", i+1, j))
+			}
+		}
+	}
+done:
+	// ops were collected tail-to-head; reverse.
+	for l, rr := 0, len(ops)-1; l < rr; l, rr = l+1, rr-1 {
+		ops[l], ops[rr] = ops[rr], ops[l]
+	}
+	out.Ops = ops
+	out.AStart, out.AEnd = i, bestI
+	out.BStart, out.BEnd = j, bestJ
+	return out
+}
+
+// CIGAR renders the op path in run-length CIGAR notation, e.g. "12M2D5M".
+func (al *Alignment) CIGAR() string {
+	if len(al.Ops) == 0 {
+		return "*"
+	}
+	var sb strings.Builder
+	run, cur := 0, al.Ops[0]
+	flush := func() { fmt.Fprintf(&sb, "%d%c", run, cur) }
+	for _, op := range al.Ops {
+		if op == cur {
+			run++
+			continue
+		}
+		flush()
+		run, cur = 1, op
+	}
+	flush()
+	return sb.String()
+}
+
+// Format renders a three-line human-readable alignment (query, midline,
+// subject) wrapped at width columns (60 when width <= 0).
+func (al *Alignment) Format(width int) string {
+	if len(al.Ops) == 0 {
+		return "(no alignment)"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	var qRow, mRow, sRow []byte
+	i, j := al.AStart, al.BStart
+	for _, op := range al.Ops {
+		switch op {
+		case OpMatch:
+			qa, sb := al.a[i], al.b[j]
+			qRow = append(qRow, alphabet.Decode(qa))
+			sRow = append(sRow, alphabet.Decode(sb))
+			if qa == sb {
+				mRow = append(mRow, '|')
+			} else {
+				mRow = append(mRow, ' ')
+			}
+			i++
+			j++
+		case OpInsertA:
+			qRow = append(qRow, alphabet.Decode(al.a[i]))
+			sRow = append(sRow, '-')
+			mRow = append(mRow, ' ')
+			i++
+		case OpDeleteB:
+			qRow = append(qRow, '-')
+			sRow = append(sRow, alphabet.Decode(al.b[j]))
+			mRow = append(mRow, ' ')
+			j++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "score=%d identities=%d/%d a[%d:%d] b[%d:%d]\n",
+		al.Score, al.Identities, len(al.Ops), al.AStart, al.AEnd, al.BStart, al.BEnd)
+	for off := 0; off < len(qRow); off += width {
+		end := off + width
+		if end > len(qRow) {
+			end = len(qRow)
+		}
+		fmt.Fprintf(&sb, "A: %s\n   %s\nB: %s\n", qRow[off:end], mRow[off:end], sRow[off:end])
+	}
+	return sb.String()
+}

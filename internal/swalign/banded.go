@@ -1,0 +1,100 @@
+package swalign
+
+import "heterosw/internal/alphabet"
+
+// ScoreBanded computes a banded local-alignment score: only cells with
+// |(j - i) - diag| <= band are evaluated, where i indexes a and j indexes
+// b. It is the rescoring primitive for seed-and-extend pipelines (the
+// BLAST-style workflow motivating the paper's introduction): a k-mer seed
+// fixes the diagonal and the band bounds the explored gap budget.
+//
+// The returned score is a lower bound on the unbanded Score; they are equal
+// whenever the optimal alignment stays within the band.
+func ScoreBanded(a, b []alphabet.Code, sc Scoring, diag, band int) int {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	if len(a) == 0 || len(b) == 0 || band < 0 {
+		return 0
+	}
+	qr := sc.GapOpen + sc.GapExtend
+	r := sc.GapExtend
+
+	// Band in j for row i: [i+diag-band, i+diag+band] clipped to [1, n].
+	n := len(b)
+	h := make([]int, n+2) // h[j] = H[i-1][j]
+	f := make([]int, n+2)
+	for j := range f {
+		f[j] = negInf
+	}
+	best := 0
+	prevLo, prevHi := 1, 0 // empty previous band (row 0 is all zero anyway)
+	for i := 1; i <= len(a); i++ {
+		lo := i + diag - band
+		hi := i + diag + band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			continue
+		}
+		row := sc.Matrix.Row(a[i-1])
+		// Cells of the previous row outside [prevLo, prevHi] were never
+		// written; they are implicitly zero at row 0 and "absent" later.
+		// Clear h/f on the freshly-entered right edge so stale values from
+		// two rows back are not read.
+		for j := prevHi + 1; j <= hi; j++ {
+			h[j] = 0
+			f[j] = negInf
+		}
+		// Out-of-band neighbours act as score-0 / gap-closed boundary
+		// cells: legal for local alignment (H >= 0 everywhere), so the
+		// banded score is a lower bound on the unbanded one.
+		diagH := 0
+		if lo-1 >= prevLo && lo-1 <= prevHi {
+			diagH = h[lo-1]
+		}
+		e := negInf
+		hLeft := 0 // H[i][lo-1]: outside the band, treated as 0 boundary
+		for j := lo; j <= hi; j++ {
+			up := 0
+			if j >= prevLo && j <= prevHi {
+				up = h[j]
+			}
+			fj := negInf
+			if j >= prevLo && j <= prevHi {
+				fj = f[j]
+			}
+			e -= r
+			if v := hLeft - qr; v > e {
+				e = v
+			}
+			fij := fj - r
+			if v := up - qr; v > fij {
+				fij = v
+			}
+			f[j] = fij
+			hij := diagH + int(row[b[j-1]])
+			if e > hij {
+				hij = e
+			}
+			if fij > hij {
+				hij = fij
+			}
+			if hij < 0 {
+				hij = 0
+			}
+			diagH = up
+			hLeft = hij
+			h[j] = hij
+			if hij > best {
+				best = hij
+			}
+		}
+		prevLo, prevHi = lo, hi
+	}
+	return best
+}

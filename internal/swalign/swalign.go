@@ -1,0 +1,115 @@
+// Package swalign implements the reference Smith-Waterman local alignment
+// of Section II of the paper: the full dynamic-programming matrix with
+// affine gap penalties (Gotoh's formulation of Eqs. 2-5), the maximum
+// similarity score (Eq. 6), and the backtracking step that recovers the
+// highest-scoring pair of segments.
+//
+// This package is deliberately simple and allocation-heavy: it is the
+// oracle against which every optimised kernel in internal/core is verified,
+// and the engine behind the pairwise-alignment public API. The database
+// search path never uses it.
+//
+// Gap model: a gap of length x costs g(x) = q + r*x (Eq. 5), with q the
+// open penalty and r the extension penalty, both >= 0. The paper's C
+// (column gap, consuming query residues) is F here; the paper's F (row gap,
+// consuming database residues) is E here, matching the usual Gotoh naming.
+package swalign
+
+import (
+	"fmt"
+
+	"heterosw/internal/alphabet"
+	"heterosw/internal/submat"
+)
+
+// Scoring bundles the substitution matrix and affine gap penalties.
+type Scoring struct {
+	Matrix    *submat.Matrix
+	GapOpen   int // q in Eq. 5; cost of opening a gap (>= 0)
+	GapExtend int // r in Eq. 5; cost per gapped residue (>= 0)
+}
+
+// Validate reports whether the scoring parameters are usable.
+func (s Scoring) Validate() error {
+	if s.Matrix == nil {
+		return fmt.Errorf("swalign: nil substitution matrix")
+	}
+	if s.GapOpen < 0 || s.GapExtend < 0 {
+		return fmt.Errorf("swalign: negative gap penalties q=%d r=%d", s.GapOpen, s.GapExtend)
+	}
+	return nil
+}
+
+// negInf is a safely-small score: adding one substitution plus one gap step
+// cannot underflow int32 arithmetic used by callers.
+const negInf = -(1 << 29)
+
+// Score computes the optimal local alignment score between sequences a and
+// b in O(len(b)) space and O(len(a)*len(b)) time. It is the linear-space
+// variant used to verify kernels on inputs too large for the full matrix.
+func Score(a, b []alphabet.Code, sc Scoring) int {
+	if err := sc.Validate(); err != nil {
+		panic(err)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	qr := sc.GapOpen + sc.GapExtend
+	r := sc.GapExtend
+
+	// h[j] holds H[i-1][j] entering row i (and H[i][j] after the inner loop
+	// passes column j); f[j] holds F[*][j] for the column-direction gaps.
+	// E depends only on the current row's previous column, so it is a
+	// scalar carried along the row.
+	h := make([]int, len(b)+1)
+	f := make([]int, len(b)+1)
+	for j := range f {
+		f[j] = negInf
+	}
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		row := sc.Matrix.Row(a[i-1])
+		diag := h[0] // H[i-1][0] == 0
+		h[0] = 0
+		e := negInf
+		for j := 1; j <= len(b); j++ {
+			up := h[j] // H[i-1][j]
+			// E: gap consuming b (row gap, the paper's F).
+			// E[i][j] = max(E[i][j-1], H[i][j-1]-q) - r.
+			e -= r
+			if v := h[j-1] - qr; v > e {
+				e = v
+			}
+			// F: gap consuming a (column gap, the paper's C).
+			// F[i][j] = max(F[i-1][j], H[i-1][j]-q) - r.
+			fij := f[j] - r
+			if v := up - qr; v > fij {
+				fij = v
+			}
+			f[j] = fij
+			// H per Eq. 2.
+			hij := diag + int(row[b[j-1]])
+			if e > hij {
+				hij = e
+			}
+			if fij > hij {
+				hij = fij
+			}
+			if hij < 0 {
+				hij = 0
+			}
+			diag = up
+			h[j] = hij
+			if hij > best {
+				best = hij
+			}
+		}
+	}
+	return best
+}
+
+// Cells returns the number of DP cells a Score/Align call evaluates, the
+// quantity underlying the GCUPS metric.
+func Cells(a, b []alphabet.Code) int64 {
+	return int64(len(a)) * int64(len(b))
+}

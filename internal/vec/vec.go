@@ -1,0 +1,147 @@
+// Package vec emulates the fixed-width integer SIMD units of the two
+// devices modelled by this library: the 256-bit vectors of the Intel Xeon
+// (16 lanes of int16) and the 512-bit vectors of the Xeon Phi (32 lanes of
+// int16). The "intrinsic" alignment kernels in internal/core are written
+// against this package exactly as hand-vectorised C would be written
+// against immintrin.h: saturating 16-bit adds and subtractions, lane-wise
+// maxima, broadcasts, and the gather operation whose presence (Phi) or
+// absence (Xeon) drives the query-profile results in the paper.
+//
+// The emulation is semantic, not temporal: operations compute exact lane
+// results; the cycle cost of each operation class is attributed by
+// internal/device from the structural counts reported by the kernels.
+package vec
+
+import "math"
+
+// Width is the number of 16-bit lanes in an emulated vector register.
+type Width int
+
+const (
+	// Lanes256 is the lane count of a 256-bit register holding int16
+	// elements (the Xeon model).
+	Lanes256 Width = 16
+	// Lanes512 is the lane count of a 512-bit register holding int16
+	// elements (the Xeon Phi model).
+	Lanes512 Width = 32
+)
+
+// MaxI16 and MinI16 are the saturation rails of 16-bit lanes.
+const (
+	MaxI16 = math.MaxInt16
+	MinI16 = math.MinInt16
+)
+
+// I16 is an emulated vector register of int16 lanes. Slices are used
+// rather than fixed arrays so both widths share one implementation; kernels
+// allocate them with exactly the device lane count and the helpers assume
+// len(dst) == len(src) for every operand.
+type I16 []int16
+
+func sat(v int32) int16 {
+	if v > MaxI16 {
+		return MaxI16
+	}
+	if v < MinI16 {
+		return MinI16
+	}
+	return int16(v)
+}
+
+// AddSat sets dst = a + b with signed 16-bit saturation (vpaddsw).
+func AddSat(dst, a, b I16) {
+	for l := range dst {
+		dst[l] = sat(int32(a[l]) + int32(b[l]))
+	}
+}
+
+// SubSatConst sets dst = a - c with signed 16-bit saturation (vpsubsw with
+// a broadcast operand).
+func SubSatConst(dst, a I16, c int16) {
+	for l := range dst {
+		dst[l] = sat(int32(a[l]) - int32(c))
+	}
+}
+
+// Max sets dst = max(a, b) lane-wise (vpmaxsw).
+func Max(dst, a, b I16) {
+	for l := range dst {
+		if a[l] > b[l] {
+			dst[l] = a[l]
+		} else {
+			dst[l] = b[l]
+		}
+	}
+}
+
+// MaxConst sets dst = max(a, c) lane-wise against a broadcast constant.
+func MaxConst(dst, a I16, c int16) {
+	for l := range dst {
+		if a[l] > c {
+			dst[l] = a[l]
+		} else {
+			dst[l] = c
+		}
+	}
+}
+
+// MaxInto sets dst = max(dst, a) lane-wise; the running-maximum update of
+// the score tracker.
+func MaxInto(dst, a I16) {
+	for l := range dst {
+		if a[l] > dst[l] {
+			dst[l] = a[l]
+		}
+	}
+}
+
+// Set1 broadcasts c into every lane (vpbroadcastw).
+func Set1(dst I16, c int16) {
+	for l := range dst {
+		dst[l] = c
+	}
+}
+
+// Gather sets dst[l] = table[idx[l]] (vpgatherdd-style indexed load). On
+// the Xeon model this operation has no hardware equivalent and is costed by
+// the device model as a shuffle/insert sequence; on the Phi it maps to the
+// native gather. idx values must be valid table offsets.
+func Gather(dst I16, table []int16, idx []uint8) {
+	for l := range dst {
+		dst[l] = table[idx[l]]
+	}
+}
+
+// HorizontalMax returns the maximum lane value (vphmaxsw-style reduction
+// tree).
+func HorizontalMax(a I16) int16 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AnyGE reports whether any lane is >= threshold; kernels use it to detect
+// potential 16-bit saturation and trigger 32-bit recomputation.
+func AnyGE(a I16, threshold int16) bool {
+	for _, v := range a {
+		if v >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyGT reports whether any lane of a exceeds the corresponding lane of b
+// (vpcmpgtw + movemask); the lazy-F termination test of striped kernels.
+func AnyGT(a, b I16) bool {
+	for l := range a {
+		if a[l] > b[l] {
+			return true
+		}
+	}
+	return false
+}

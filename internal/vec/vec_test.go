@@ -1,0 +1,159 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSatSaturates(t *testing.T) {
+	a := I16{30000, -30000, 100, MaxI16}
+	b := I16{10000, -10000, 28, 1}
+	dst := make(I16, 4)
+	AddSat(dst, a, b)
+	want := I16{MaxI16, MinI16, 128, MaxI16}
+	for l := range want {
+		if dst[l] != want[l] {
+			t.Errorf("lane %d: got %d want %d", l, dst[l], want[l])
+		}
+	}
+}
+
+func TestSubSatConst(t *testing.T) {
+	a := I16{MinI16, 0, 5}
+	dst := make(I16, 3)
+	SubSatConst(dst, a, 10)
+	want := I16{MinI16, -10, -5}
+	for l := range want {
+		if dst[l] != want[l] {
+			t.Errorf("lane %d: got %d want %d", l, dst[l], want[l])
+		}
+	}
+}
+
+func TestMaxVariants(t *testing.T) {
+	a := I16{1, 5, -3}
+	b := I16{2, 4, -7}
+	dst := make(I16, 3)
+	Max(dst, a, b)
+	if dst[0] != 2 || dst[1] != 5 || dst[2] != -3 {
+		t.Errorf("Max = %v", dst)
+	}
+	MaxConst(dst, a, 0)
+	if dst[0] != 1 || dst[1] != 5 || dst[2] != 0 {
+		t.Errorf("MaxConst = %v", dst)
+	}
+	acc := I16{0, 10, -5}
+	MaxInto(acc, a)
+	if acc[0] != 1 || acc[1] != 10 || acc[2] != -3 {
+		t.Errorf("MaxInto = %v", acc)
+	}
+}
+
+func TestSet1AndHorizontalMax(t *testing.T) {
+	dst := make(I16, int(Lanes512))
+	Set1(dst, -7)
+	for l, v := range dst {
+		if v != -7 {
+			t.Fatalf("lane %d = %d", l, v)
+		}
+	}
+	dst[17] = 300
+	if got := HorizontalMax(dst); got != 300 {
+		t.Fatalf("HorizontalMax = %d", got)
+	}
+}
+
+func TestGather(t *testing.T) {
+	table := []int16{10, 20, 30, 40}
+	idx := []uint8{3, 0, 2}
+	dst := make(I16, 3)
+	Gather(dst, table, idx)
+	if dst[0] != 40 || dst[1] != 10 || dst[2] != 30 {
+		t.Fatalf("Gather = %v", dst)
+	}
+}
+
+func TestAnyGE(t *testing.T) {
+	a := I16{1, 2, 3}
+	if AnyGE(a, 4) {
+		t.Error("AnyGE(3-max, 4) = true")
+	}
+	if !AnyGE(a, 3) {
+		t.Error("AnyGE(3-max, 3) = false")
+	}
+}
+
+// Property: AddSat equals clamped wide addition on random lanes.
+func TestAddSatProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		n := rng.Intn(int(Lanes512)) + 1
+		a, b, dst := make(I16, n), make(I16, n), make(I16, n)
+		for l := 0; l < n; l++ {
+			a[l] = int16(rng.Intn(1 << 16))
+			b[l] = int16(rng.Intn(1 << 16))
+		}
+		AddSat(dst, a, b)
+		for l := 0; l < n; l++ {
+			wide := int32(a[l]) + int32(b[l])
+			if wide > MaxI16 {
+				wide = MaxI16
+			}
+			if wide < MinI16 {
+				wide = MinI16
+			}
+			if int32(dst[l]) != wide {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Max is commutative, idempotent and bounded by its operands.
+func TestMaxProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(uint8) bool {
+		n := rng.Intn(int(Lanes256)) + 1
+		a, b, ab, ba := make(I16, n), make(I16, n), make(I16, n), make(I16, n)
+		for l := 0; l < n; l++ {
+			a[l] = int16(rng.Intn(1 << 16))
+			b[l] = int16(rng.Intn(1 << 16))
+		}
+		Max(ab, a, b)
+		Max(ba, b, a)
+		for l := 0; l < n; l++ {
+			if ab[l] != ba[l] {
+				return false
+			}
+			if ab[l] < a[l] || ab[l] < b[l] {
+				return false
+			}
+			if ab[l] != a[l] && ab[l] != b[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnyGT(t *testing.T) {
+	a := I16{1, 5, -3}
+	b := I16{1, 4, -3}
+	if !AnyGT(a, b) {
+		t.Error("AnyGT missed 5>4")
+	}
+	if AnyGT(b, a) && b[1] >= a[1] {
+		t.Error("AnyGT(b,a) true with no greater lane")
+	}
+	if AnyGT(a, a) {
+		t.Error("AnyGT(a,a) = true")
+	}
+}

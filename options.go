@@ -1,0 +1,181 @@
+package heterosw
+
+import (
+	"fmt"
+
+	"heterosw/internal/core"
+	"heterosw/internal/device"
+	"heterosw/internal/sched"
+	"heterosw/internal/submat"
+)
+
+// DeviceKind names one of the modelled devices.
+type DeviceKind string
+
+const (
+	// DeviceXeon is the host model: 2x Intel Xeon E5-2670, 16 cores, 32
+	// hardware threads, 256-bit SIMD.
+	DeviceXeon DeviceKind = "xeon"
+	// DevicePhi is the coprocessor model: Intel Xeon Phi, 60 cores, 240
+	// hardware threads, 512-bit SIMD, PCIe offload.
+	DevicePhi DeviceKind = "phi"
+)
+
+func (k DeviceKind) model() (*device.Model, error) {
+	switch k {
+	case "", DeviceXeon:
+		return device.Xeon(), nil
+	case DevicePhi:
+		return device.Phi(), nil
+	}
+	return nil, fmt.Errorf("heterosw: unknown device %q (have xeon, phi)", string(k))
+}
+
+// DeviceInfo describes a modelled device.
+type DeviceInfo struct {
+	Kind     DeviceKind
+	Name     string
+	Cores    int
+	Threads  int
+	Lanes    int
+	TDPWatts float64
+}
+
+// Devices lists the modelled devices.
+func Devices() []DeviceInfo {
+	out := make([]DeviceInfo, 0, 2)
+	for _, k := range []DeviceKind{DeviceXeon, DevicePhi} {
+		m, _ := k.model()
+		out = append(out, DeviceInfo{
+			Kind: k, Name: m.Name, Cores: m.Cores,
+			Threads: m.MaxThreads(), Lanes: m.Lanes, TDPWatts: m.TDPWatts,
+		})
+	}
+	return out
+}
+
+// Variant names. See the paper's Section V: vectorisation mode x
+// substitution-score layout.
+const (
+	VariantNoVecQP     = "no-vec-QP"
+	VariantNoVecSP     = "no-vec-SP"
+	VariantGuidedQP    = "simd-QP"
+	VariantGuidedSP    = "simd-SP"
+	VariantIntrinsicQP = "intrinsic-QP"
+	VariantIntrinsicSP = "intrinsic-SP"
+)
+
+// Variants lists the kernel variant names in the paper's order.
+func Variants() []string {
+	out := make([]string, 0, 6)
+	for _, v := range core.Variants() {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// Options configures a database search. The zero value reproduces the
+// paper's best configuration: intrinsic-SP kernels with blocking, BLOSUM62,
+// gap open 10 / extend 2, dynamic scheduling, all device threads.
+type Options struct {
+	// Device selects the performance model used for simulated timing
+	// (DeviceXeon when empty).
+	Device DeviceKind
+	// Variant is a kernel variant name (VariantIntrinsicSP when empty).
+	Variant string
+	// Matrix is a built-in substitution matrix name (BLOSUM62 when
+	// empty): BLOSUM45/50/62/80 or PAM250.
+	Matrix string
+	// GapOpen and GapExtend are the affine gap penalties q and r of the
+	// paper's Eq. 5; a gap of length x costs q + r*x. Both default to the
+	// paper's 10 and 2 when zero. Use NoGapDefaults to pass literal
+	// zeros.
+	GapOpen, GapExtend int
+	// NoGapDefaults disables the 10/2 defaulting above.
+	NoGapDefaults bool
+	// NoBlocking disables the cache-blocking optimisation (Figure 7's
+	// "non-blocking" curves).
+	NoBlocking bool
+	// BlockRows overrides the blocking tile height (256 when zero).
+	BlockRows int
+	// Threads is the simulated device thread count (device maximum when
+	// zero).
+	Threads int
+	// Schedule is the OpenMP loop policy: "dynamic" (default), "static"
+	// or "guided".
+	Schedule string
+	// ChunkSize is the scheduling chunk (1 when zero).
+	ChunkSize int
+	// Workers caps real host goroutines for functional execution
+	// (GOMAXPROCS when zero); it does not affect simulated time.
+	Workers int
+	// TopK truncates the hit list (all hits when zero).
+	TopK int
+	// LongSeqThreshold routes subjects longer than this to the intra-task
+	// kernel (3072 when zero; negative disables routing).
+	LongSeqThreshold int
+	// IntraKernel selects the long-sequence kernel: "wavefront"
+	// (anti-diagonal, the default) or "striped" (Farrar's striped layout
+	// with lazy-F). Scores are identical.
+	IntraKernel string
+}
+
+func (o Options) toCore() (core.SearchOptions, error) {
+	out := core.SearchOptions{
+		Threads:          o.Threads,
+		ChunkSize:        o.ChunkSize,
+		Workers:          o.Workers,
+		TopK:             o.TopK,
+		LongSeqThreshold: o.LongSeqThreshold,
+	}
+	variant := o.Variant
+	if variant == "" {
+		variant = VariantIntrinsicSP
+	}
+	v, err := core.ParseVariant(variant)
+	if err != nil {
+		return out, err
+	}
+	matrix := o.Matrix
+	if matrix == "" {
+		matrix = "BLOSUM62"
+	}
+	m, err := submat.ByName(matrix)
+	if err != nil {
+		return out, err
+	}
+	schedule := o.Schedule
+	if schedule == "" {
+		schedule = "dynamic"
+	}
+	pol, err := sched.ParsePolicy(schedule)
+	if err != nil {
+		return out, err
+	}
+	gapOpen, gapExtend := o.GapOpen, o.GapExtend
+	if !o.NoGapDefaults {
+		if gapOpen == 0 {
+			gapOpen = 10
+		}
+		if gapExtend == 0 {
+			gapExtend = 2
+		}
+	}
+	switch o.IntraKernel {
+	case "", "wavefront":
+	case "striped":
+		out.StripedIntra = true
+	default:
+		return out, fmt.Errorf("heterosw: unknown intra kernel %q (have wavefront, striped)", o.IntraKernel)
+	}
+	out.Params = core.Params{
+		Variant:   v,
+		GapOpen:   gapOpen,
+		GapExtend: gapExtend,
+		Blocked:   !o.NoBlocking,
+		BlockRows: o.BlockRows,
+	}
+	out.Matrix = m
+	out.Schedule = pol
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package heterosw
+
+import (
+	"fmt"
+
+	"heterosw/internal/core"
+	"heterosw/internal/seqdb"
+)
+
+// Database is an indexed collection of target sequences ready for
+// searching. Build one with NewDatabase, ReadFASTA + NewDatabase, or
+// SyntheticSwissProt. A Database is safe for concurrent searches.
+//
+// Engines (one per device model) are created lazily and cache their lane
+// packings, so repeated searches amortise pre-processing exactly as the
+// paper's step 2 does.
+type Database struct {
+	db      *seqdb.Database
+	engines map[DeviceKind]*core.Engine
+}
+
+// NewDatabase indexes sequences with the paper's pre-processing: the
+// processing order is sorted by length so lane groups pack tightly and
+// scheduling stays balanced.
+func NewDatabase(seqs []Sequence) (*Database, error) {
+	return newDatabase(seqs, true)
+}
+
+// NewDatabaseUnsorted indexes sequences without the length-sorting
+// pre-processing, reproducing the paper's motivation for sorting (padding
+// waste and load imbalance). Intended for ablation studies.
+func NewDatabaseUnsorted(seqs []Sequence) (*Database, error) {
+	return newDatabase(seqs, false)
+}
+
+func newDatabase(seqs []Sequence, sorted bool) (*Database, error) {
+	raw, err := unwrapSeqs(seqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		db:      seqdb.New(raw, sorted),
+		engines: make(map[DeviceKind]*core.Engine),
+	}, nil
+}
+
+// Len returns the number of sequences.
+func (d *Database) Len() int { return d.db.Len() }
+
+// Residues returns the total residue count.
+func (d *Database) Residues() int64 { return d.db.Residues() }
+
+// Seq returns the i-th sequence in the caller's original order.
+func (d *Database) Seq(i int) Sequence { return Sequence{impl: d.db.Seq(i)} }
+
+// String summarises the database.
+func (d *Database) String() string { return d.db.String() }
+
+func (d *Database) engineFor(kind DeviceKind) (*core.Engine, error) {
+	if kind == "" {
+		kind = DeviceXeon
+	}
+	if e, ok := d.engines[kind]; ok {
+		return e, nil
+	}
+	m, err := kind.model()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEngine(d.db, m)
+	if err != nil {
+		return nil, err
+	}
+	d.engines[kind] = e
+	return e, nil
+}
+
+// Hit is one database match.
+type Hit struct {
+	// Index is the subject's position in the database (original order).
+	Index int
+	// ID is the subject's identifier.
+	ID string
+	// Score is the optimal Smith-Waterman score.
+	Score int
+}
+
+// Result reports a database search.
+type Result struct {
+	// Hits is sorted by descending score (the paper's step 4), truncated
+	// to TopK when requested.
+	Hits []Hit
+	// Scores holds every subject's score in database order.
+	Scores []int
+	// Cells is the number of dynamic-programming cell updates (the GCUPS
+	// numerator).
+	Cells int64
+	// Threads is the simulated thread count used.
+	Threads int
+	// SimSeconds and SimGCUPS report the device-model timing (the
+	// figures' axis); WallSeconds and WallGCUPS report the real pure-Go
+	// execution on the host.
+	SimSeconds  float64
+	SimGCUPS    float64
+	WallSeconds float64
+	WallGCUPS   float64
+	// Overflows counts 16-bit lane saturations escalated to 32-bit
+	// recomputation.
+	Overflows int64
+}
+
+func wrapResult(r *core.Result) *Result {
+	out := &Result{
+		Hits:        make([]Hit, len(r.Hits)),
+		Scores:      make([]int, len(r.Scores)),
+		Cells:       r.Stats.Cells,
+		Threads:     r.Threads,
+		SimSeconds:  r.SimSeconds,
+		SimGCUPS:    r.SimGCUPS,
+		WallSeconds: r.WallSeconds,
+		WallGCUPS:   r.WallGCUPS,
+		Overflows:   r.Stats.Overflows,
+	}
+	for i, h := range r.Hits {
+		out.Hits[i] = Hit{Index: h.SeqIndex, ID: h.ID, Score: int(h.Score)}
+	}
+	for i, s := range r.Scores {
+		out.Scores[i] = int(s)
+	}
+	return out
+}
+
+// Search aligns the query against every database sequence (the paper's
+// Algorithm 1) and returns scores sorted in descending order, with
+// simulated and wall-clock performance accounting.
+func (d *Database) Search(query Sequence, opt Options) (*Result, error) {
+	if query.impl == nil {
+		return nil, fmt.Errorf("heterosw: zero-value query")
+	}
+	eng, err := d.engineFor(opt.Device)
+	if err != nil {
+		return nil, err
+	}
+	copt, err := opt.toCore()
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Search(query.impl, copt)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// HeteroOptions configures the heterogeneous search of Algorithm 2.
+type HeteroOptions struct {
+	// Options carries the shared kernel configuration. Its Device field
+	// is ignored; Threads applies to the CPU side.
+	Options
+	// PhiShare is the fraction of database residues offloaded to the
+	// coprocessor. The paper's best configuration is ~0.55; that is the
+	// default when zero (set a negative value for a true zero share).
+	PhiShare float64
+	// PhiThreads is the coprocessor's simulated thread count (240 when
+	// zero).
+	PhiThreads int
+	// AutoSplit derives the split from the device cost models instead of
+	// PhiShare: the completion times of both devices over the whole
+	// database are predicted and the share balancing them is used.
+	AutoSplit bool
+}
+
+// HeteroResult reports a heterogeneous search.
+type HeteroResult struct {
+	Result
+	// CPUSeconds and PhiSeconds are the simulated per-device times; the
+	// Phi time includes PCIe transfers. The total SimSeconds is their
+	// maximum (host compute overlaps the offload region).
+	CPUSeconds, PhiSeconds float64
+	// CPUShare and PhiShare are the realised residue fractions.
+	CPUShare, PhiShare float64
+}
+
+// SearchHetero performs Algorithm 2: a static split of the database
+// between the Xeon host and the Xeon Phi coprocessor, with the coprocessor
+// share running as an asynchronous offload region overlapped with host
+// compute, and a merged, sorted score list.
+func (d *Database) SearchHetero(query Sequence, opt HeteroOptions) (*HeteroResult, error) {
+	if query.impl == nil {
+		return nil, fmt.Errorf("heterosw: zero-value query")
+	}
+	share := opt.PhiShare
+	switch {
+	case share == 0:
+		share = 0.55 // the paper's best configuration
+	case share < 0:
+		share = 0
+	}
+	if share > 1 {
+		return nil, fmt.Errorf("heterosw: PhiShare %v > 1", opt.PhiShare)
+	}
+	copt, err := opt.Options.toCore()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SearchHetero(d.db, query.impl, core.HeteroOptions{
+		Search:     copt,
+		CPUThreads: opt.Threads,
+		MICThreads: opt.PhiThreads,
+		MICShare:   share,
+		AutoSplit:  opt.AutoSplit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HeteroResult{
+		Result:     *wrapResult(&res.Result),
+		CPUSeconds: res.CPUSeconds,
+		PhiSeconds: res.MICSeconds,
+		CPUShare:   res.CPUShare,
+		PhiShare:   res.MICShare,
+	}
+	return out, nil
+}
