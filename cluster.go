@@ -1,0 +1,294 @@
+package heterosw
+
+import (
+	"fmt"
+	"sync"
+
+	"heterosw/internal/core"
+	"heterosw/internal/sequence"
+)
+
+// ClusterOptions configures a Cluster over a database.
+//
+// The paper's Algorithm 2 hardcodes one Xeon host and one Xeon Phi and
+// names a dynamic distribution strategy as future work; ClusterOptions
+// generalises the roster to any number of modelled devices and makes the
+// distribution strategy selectable.
+type ClusterOptions struct {
+	// Options carries the shared kernel configuration (variant, matrix,
+	// gaps, blocking, schedule). Its Device and Threads fields are
+	// ignored: the roster comes from Devices and per-backend threads from
+	// Threads below.
+	Options
+	// Devices is the backend roster, e.g. {DeviceXeon, DevicePhi,
+	// DevicePhi}. Empty selects the paper's pair {DeviceXeon, DevicePhi}.
+	Devices []DeviceKind
+	// Threads optionally sets each backend's simulated thread count
+	// (device maximum when 0 or when the slice is shorter than the
+	// roster).
+	Threads []int
+	// Dist selects the workload distribution: "static" (Algorithm 2's
+	// residue split, the default), "dynamic" (a device-level work queue
+	// of equal-residue chunks) or "guided" (shrinking chunks).
+	Dist string
+	// Shares pins the static residue fraction per backend; nil derives
+	// model-balanced shares from the device cost models (the paper's
+	// proposed model-driven strategy). Ignored by dynamic distributions.
+	Shares []float64
+	// ChunkResidues is the dynamic chunk granularity in residues (0
+	// derives a default from the database size and roster).
+	ChunkResidues int64
+}
+
+// BackendReport describes one backend's part in a cluster search.
+type BackendReport struct {
+	// Name identifies the backend within the roster (the device kind
+	// suffixed with its roster position, e.g. "phi#1").
+	Name string
+	// Device is the backend's device kind.
+	Device DeviceKind
+	// Share is the realised fraction of database residues the backend
+	// processed (static) or was scheduled in simulation (dynamic).
+	Share float64
+	// Chunks counts the backend's work grants: 1 shard under static
+	// distribution, claimed queue chunks under dynamic ones.
+	Chunks int
+	// SimSeconds is the backend's simulated busy time including PCIe
+	// transfers; Threads its simulated thread count (0 if it got no work).
+	SimSeconds float64
+	Threads    int
+}
+
+// ClusterResult reports a cluster search: the merged result plus
+// per-backend accounting.
+type ClusterResult struct {
+	Result
+	// Backends has one entry per roster backend, in roster order.
+	Backends []BackendReport
+}
+
+// StreamResult is one delivery of the streaming Submit/Results pair.
+type StreamResult struct {
+	// Index is the query's submission order, starting at 0; results are
+	// delivered in submission order.
+	Index int
+	// Query is the submitted query.
+	Query Sequence
+	// Result is the search outcome; nil when Err is set.
+	Result *ClusterResult
+	// Err reports a failed search (the stream continues past failures).
+	Err error
+}
+
+// Cluster is an N-device search cluster over a Database: the paper's
+// Algorithm 2 generalised to a device-count-agnostic dispatcher with
+// batched and streaming entry points. A Cluster is safe for concurrent
+// use; shard splits, chunk partitions and per-backend lane packings are
+// cached so repeated and batched queries amortise all pre-processing.
+type Cluster struct {
+	db    *Database
+	disp  *core.Dispatcher
+	dopt  core.DispatchOptions
+	kinds []DeviceKind
+
+	mu        sync.Mutex
+	queueCond *sync.Cond
+	queue     []streamJob
+	out       chan StreamResult
+	started   bool
+	closed    bool
+	submitted int
+}
+
+type streamJob struct {
+	index int
+	query Sequence
+}
+
+// streamBuffer is the Results channel depth; the worker blocks once it is
+// this many undelivered results ahead of the consumer.
+const streamBuffer = 64
+
+// NewCluster builds a cluster over the database with the given roster and
+// distribution strategy.
+func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
+	if db == nil {
+		return nil, fmt.Errorf("heterosw: nil database")
+	}
+	kinds := opt.Devices
+	if len(kinds) == 0 {
+		kinds = []DeviceKind{DeviceXeon, DevicePhi}
+	}
+	backends := make([]core.Backend, len(kinds))
+	for i, k := range kinds {
+		m, err := k.model()
+		if err != nil {
+			return nil, err
+		}
+		threads := 0
+		if i < len(opt.Threads) {
+			threads = opt.Threads[i]
+		}
+		if threads < 0 || threads > m.MaxThreads() {
+			return nil, fmt.Errorf("heterosw: backend %d (%s): %d threads exceeds %d",
+				i, k, threads, m.MaxThreads())
+		}
+		backends[i] = core.NewBackend(fmt.Sprintf("%s#%d", k, i), m, threads)
+	}
+	dist := opt.Dist
+	if dist == "" {
+		dist = "static"
+	}
+	d, err := core.ParseDistribution(dist)
+	if err != nil {
+		return nil, fmt.Errorf("heterosw: %s", err)
+	}
+	if opt.Shares != nil && len(opt.Shares) != len(kinds) {
+		return nil, fmt.Errorf("heterosw: %d shares for %d devices", len(opt.Shares), len(kinds))
+	}
+	search, err := opt.Options.toCore()
+	if err != nil {
+		return nil, err
+	}
+	disp, err := core.NewDispatcher(db.db, backends)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		db:    db,
+		disp:  disp,
+		kinds: kinds,
+		dopt: core.DispatchOptions{
+			Search:        search,
+			Dist:          d,
+			Shares:        opt.Shares,
+			ChunkResidues: opt.ChunkResidues,
+		},
+		out: make(chan StreamResult, streamBuffer),
+	}
+	c.queueCond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// Devices returns the cluster's roster.
+func (c *Cluster) Devices() []DeviceKind { return append([]DeviceKind(nil), c.kinds...) }
+
+func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
+	out := &ClusterResult{
+		Result:   *wrapResult(&r.Result),
+		Backends: make([]BackendReport, len(r.PerBackend)),
+	}
+	for i, st := range r.PerBackend {
+		out.Backends[i] = BackendReport{
+			Name:       st.Name,
+			Device:     c.kinds[i],
+			Share:      st.Share,
+			Chunks:     st.Chunks,
+			SimSeconds: st.SimSeconds,
+			Threads:    st.Threads,
+		}
+	}
+	return out
+}
+
+// Search distributes one query across the cluster's backends and merges
+// the score lists — Algorithm 2 with N devices.
+func (c *Cluster) Search(query Sequence) (*ClusterResult, error) {
+	if query.impl == nil {
+		return nil, fmt.Errorf("heterosw: zero-value query")
+	}
+	res, err := c.disp.Search(query.impl, c.dopt)
+	if err != nil {
+		return nil, err
+	}
+	return c.wrap(res), nil
+}
+
+// SearchBatch runs a batch of queries, amortising the shard split, chunk
+// partition and per-backend lane packings across the whole batch. Results
+// are returned in query order.
+func (c *Cluster) SearchBatch(queries []Sequence) ([]*ClusterResult, error) {
+	impls := make([]*sequence.Sequence, len(queries))
+	for i, q := range queries {
+		if q.impl == nil {
+			return nil, fmt.Errorf("heterosw: zero-value query %d", i)
+		}
+		impls[i] = q.impl
+	}
+	res, err := c.disp.SearchBatch(impls, c.dopt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ClusterResult, len(res))
+	for i, r := range res {
+		out[i] = c.wrap(r)
+	}
+	return out, nil
+}
+
+// Submit enqueues a query on the cluster's streaming pipeline and returns
+// immediately; the matching StreamResult arrives on Results in submission
+// order. Submit never blocks (the intake queue is unbounded), so the
+// submit-everything-then-drain pattern is safe for any batch size; the
+// worker stops at most streamBuffer undelivered results ahead of the
+// Results consumer, which bounds completed-result memory. Submit fails
+// after Close.
+func (c *Cluster) Submit(query Sequence) error {
+	if query.impl == nil {
+		return fmt.Errorf("heterosw: zero-value query")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("heterosw: cluster stream closed")
+	}
+	if !c.started {
+		c.started = true
+		go c.streamWorker()
+	}
+	c.queue = append(c.queue, streamJob{index: c.submitted, query: query})
+	c.submitted++
+	c.queueCond.Signal()
+	return nil
+}
+
+// Results returns the stream delivery channel. It is closed after Close
+// once every submitted query has been delivered.
+func (c *Cluster) Results() <-chan StreamResult { return c.out }
+
+// Close ends the streaming session: no further Submit calls are accepted,
+// and Results closes once every submitted query has been searched and
+// delivered. Search and SearchBatch remain usable. Close never blocks and
+// is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.started {
+		c.queueCond.Signal()
+	} else {
+		close(c.out)
+	}
+}
+
+func (c *Cluster) streamWorker() {
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.queueCond.Wait()
+		}
+		if len(c.queue) == 0 {
+			c.mu.Unlock()
+			close(c.out)
+			return
+		}
+		job := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+		res, err := c.Search(job.query)
+		c.out <- StreamResult{Index: job.index, Query: job.query, Result: res, Err: err}
+	}
+}

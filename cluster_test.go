@@ -1,0 +1,296 @@
+package heterosw
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestClusterMatchesSingleDevice(t *testing.T) {
+	db, queries := SyntheticSwissProt(0.001, true)
+	q := queries[2]
+	single, err := db.Search(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []string{"static", "dynamic", "guided"} {
+		cl, err := NewCluster(db, ClusterOptions{
+			Devices: []DeviceKind{DeviceXeon, DevicePhi, DevicePhi},
+			Dist:    dist,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		res, err := cl.Search(q)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		for i := range single.Scores {
+			if res.Scores[i] != single.Scores[i] {
+				t.Fatalf("%s: score %d: cluster %d != single %d", dist, i, res.Scores[i], single.Scores[i])
+			}
+		}
+		if len(res.Backends) != 3 {
+			t.Fatalf("%s: %d backend reports", dist, len(res.Backends))
+		}
+		var share float64
+		for _, b := range res.Backends {
+			share += b.Share
+		}
+		if share < 0.999 || share > 1.001 {
+			t.Fatalf("%s: shares sum to %v", dist, share)
+		}
+		if res.SimSeconds <= 0 || res.SimGCUPS <= 0 {
+			t.Fatalf("%s: timing %+v", dist, res.Result)
+		}
+	}
+}
+
+func TestClusterDefaultsToPaperPair(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := cl.Devices()
+	if len(devs) != 2 || devs[0] != DeviceXeon || devs[1] != DevicePhi {
+		t.Fatalf("default roster %v", devs)
+	}
+	res, err := cl.Search(NewSequence("q", "MKWVLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 4 {
+		t.Fatalf("%d hits", len(res.Hits))
+	}
+}
+
+func TestClusterSearchBatch(t *testing.T) {
+	db, queries := SyntheticSwissProt(0.001, true)
+	cl, err := NewCluster(db, ClusterOptions{
+		Devices: []DeviceKind{DeviceXeon, DevicePhi},
+		Dist:    "dynamic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := queries[:3]
+	results, err := cl.SearchBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, q := range batch {
+		single, err := db.Search(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range single.Scores {
+			if results[i].Scores[j] != single.Scores[j] {
+				t.Fatalf("query %d seq %d: batch %d != single %d", i, j, results[i].Scores[j], single.Scores[j])
+			}
+		}
+	}
+	if _, err := cl.SearchBatch([]Sequence{{}}); err == nil {
+		t.Error("zero-value query accepted in batch")
+	}
+}
+
+func TestClusterStreaming(t *testing.T) {
+	db, queries := SyntheticSwissProt(0.001, true)
+	cl, err := NewCluster(db, ClusterOptions{Dist: "dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := cl.Submit(queries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	got := 0
+	for sr := range cl.Results() {
+		if sr.Err != nil {
+			t.Fatalf("stream result %d: %v", sr.Index, sr.Err)
+		}
+		if sr.Index != got {
+			t.Fatalf("result %d arrived out of order (want %d)", sr.Index, got)
+		}
+		if sr.Query.ID() != queries[sr.Index].ID() {
+			t.Fatalf("result %d carries query %q", sr.Index, sr.Query.ID())
+		}
+		single, err := db.Search(queries[sr.Index], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Result.Hits[0].ID != single.Hits[0].ID {
+			t.Fatalf("result %d top hit %q != %q", sr.Index, sr.Result.Hits[0].ID, single.Hits[0].ID)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d results", got, n)
+	}
+	if err := cl.Submit(queries[0]); err == nil {
+		t.Error("Submit after Close accepted")
+	}
+	cl.Close() // idempotent
+}
+
+// The submit-everything-then-drain pattern must work for batches far
+// larger than any internal buffer: Submit never blocks, so a producer
+// that only starts reading Results after its last Submit cannot deadlock.
+func TestClusterStreamingLargeBacklog(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	q := NewSequence("q", "MKWVLA")
+	for i := 0; i < n; i++ {
+		if err := cl.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	got := 0
+	for sr := range cl.Results() {
+		if sr.Err != nil {
+			t.Fatal(sr.Err)
+		}
+		if sr.Index != got {
+			t.Fatalf("result %d out of order (want %d)", sr.Index, got)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d", got, n)
+	}
+}
+
+func TestClusterCloseWithoutSubmit(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, ok := <-cl.Results(); ok {
+		t.Fatal("Results not closed")
+	}
+}
+
+func TestClusterOptionErrors(t *testing.T) {
+	db, _ := tinyDB(t)
+	cases := []ClusterOptions{
+		{Devices: []DeviceKind{"gpu"}},
+		{Dist: "adaptive"},
+		{Devices: []DeviceKind{DeviceXeon}, Threads: []int{99999}},
+		{Devices: []DeviceKind{DeviceXeon, DevicePhi}, Shares: []float64{1}},
+		{Options: Options{Variant: "nope"}},
+	}
+	for i, opt := range cases {
+		if _, err := NewCluster(db, opt); err == nil {
+			t.Errorf("case %d accepted: %+v", i, opt)
+		}
+	}
+	if _, err := NewCluster(nil, ClusterOptions{}); err == nil {
+		t.Error("nil database accepted")
+	}
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Search(Sequence{}); err == nil {
+		t.Error("zero-value query accepted")
+	}
+	if err := cl.Submit(Sequence{}); err == nil {
+		t.Error("zero-value query submitted")
+	}
+}
+
+// TestClusterConcurrentHammer drives concurrent Search, SearchBatch and
+// plain Database.Search traffic over one Database from many goroutines.
+// Run under -race (as CI does) it proves the lazy engine caches, shard and
+// chunk caches and score merges are properly synchronised.
+func TestClusterConcurrentHammer(t *testing.T) {
+	db, queries := SyntheticSwissProt(0.0003, true)
+	static, err := NewCluster(db, ClusterOptions{Devices: []DeviceKind{DeviceXeon, DevicePhi, DevicePhi}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := NewCluster(db, ClusterOptions{
+		Devices: []DeviceKind{DeviceXeon, DevicePhi},
+		Dist:    "dynamic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Search(queries[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	check := func(scores []int) error {
+		for i := range want.Scores {
+			if scores[i] != want.Scores[i] {
+				return fmt.Errorf("score %d diverged under concurrency", i)
+			}
+		}
+		return nil
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				res, err := static.Search(queries[0])
+				if err == nil {
+					err = check(res.Scores)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			batch, err := dynamic.SearchBatch([]Sequence{queries[0], queries[0]})
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, r := range batch {
+				if err := check(r.Scores); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		go func(dev DeviceKind) {
+			defer wg.Done()
+			for k := 0; k < 2; k++ {
+				res, err := db.Search(queries[0], Options{Device: dev})
+				if err == nil {
+					err = check(res.Scores)
+				}
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(map[int]DeviceKind{0: DeviceXeon, 1: DevicePhi}[g%2])
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

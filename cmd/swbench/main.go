@@ -1,10 +1,13 @@
 // Command swbench regenerates every figure and in-text table of the
-// paper's evaluation (Section V) from the simulated heterogeneous system.
+// paper's evaluation (Section V) from the simulated heterogeneous system,
+// and compares cluster workload-distribution strategies over arbitrary
+// device rosters.
 //
 // Usage:
 //
 //	swbench [-fig all|fig3|fig4|fig5|fig6|fig7|fig8|eff|sched|power|transfer]
 //	        [-scale 1.0] [-csv] [-summary] [-o out.txt]
+//	swbench -devices xeon,phi,phi -dist dynamic [-scale 1.0]
 //
 // By default the full 541,561-sequence synthetic Swiss-Prot is simulated
 // (fast: the device models consume shape information only; see DESIGN.md).
@@ -20,8 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"heterosw/internal/core"
+	"heterosw/internal/datagen"
+	"heterosw/internal/device"
 	"heterosw/internal/figures"
 	"heterosw/internal/report"
+	"heterosw/internal/sched"
 )
 
 func main() {
@@ -31,6 +38,9 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		summary = flag.Bool("summary", false, "one line per figure (best value per series)")
 		outPath = flag.String("o", "", "write output to a file instead of stdout")
+		devices = flag.String("devices", "", "cluster mode: comma-separated roster (e.g. xeon,phi,phi)")
+		dist    = flag.String("dist", "", "cluster mode: compare only this distribution (default: all)")
+		qlen    = flag.Int("qlen", 1000, "cluster mode: query length")
 	)
 	flag.Parse()
 
@@ -42,6 +52,16 @@ func main() {
 		}
 		defer f.Close()
 		out = f
+	}
+
+	if *devices != "" {
+		if *csv || *summary {
+			fatal(fmt.Errorf("-csv and -summary are not supported with -devices (cluster mode prints one fixed table)"))
+		}
+		if err := clusterBench(out, *devices, *dist, *scale, *qlen); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -77,6 +97,67 @@ func main() {
 		}
 	}
 	fmt.Fprintf(out, "# generated in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// clusterBench compares workload-distribution strategies for a device
+// roster at shape level: the full database is planned, never executed, so
+// the comparison runs in milliseconds at any scale.
+func clusterBench(out io.Writer, roster, only string, scale float64, queryLen int) error {
+	models := device.Devices()
+	var backends []core.Backend
+	var names []string
+	for i, d := range strings.Split(roster, ",") {
+		d = strings.TrimSpace(d)
+		m, ok := models[d]
+		if !ok {
+			return fmt.Errorf("unknown device %q (have xeon, phi)", d)
+		}
+		name := fmt.Sprintf("%s#%d", d, i)
+		backends = append(backends, core.NewBackend(name, m, 0))
+		names = append(names, name)
+	}
+	lengths := datagen.Lengths(datagen.SwissProtConfig(scale))
+	var residues int64
+	for _, l := range lengths {
+		residues += int64(l)
+	}
+	cells := float64(queryLen) * float64(residues)
+
+	dists := []core.Distribution{core.DistStatic, core.DistDynamic, core.DistGuided}
+	if only != "" {
+		d, err := core.ParseDistribution(only)
+		if err != nil {
+			return err
+		}
+		dists = []core.Distribution{d}
+	}
+	opt := core.DispatchOptions{Search: core.SearchOptions{
+		Params:   core.Params{Variant: core.IntrinsicSP, GapOpen: 10, GapExtend: 2, Blocked: true},
+		Schedule: sched.Dynamic,
+	}}
+
+	fmt.Fprintf(out, "# cluster: %s over %d sequences (%d residues), query %d aa\n",
+		roster, len(lengths), residues, queryLen)
+	fmt.Fprintf(out, "# static shares are model-balanced (OptimalShares); GCUPS is simulated throughput\n\n")
+	fmt.Fprintf(out, "%-8s %12s %10s", "dist", "makespan s", "GCUPS")
+	for _, n := range names {
+		fmt.Fprintf(out, " %16s", n)
+	}
+	fmt.Fprintln(out)
+	for _, d := range dists {
+		o := opt
+		o.Dist = d
+		p, err := core.PlanLengths(lengths, queryLen, backends, o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-8s %12.4f %10.2f", d, p.Makespan, cells/p.Makespan/1e9)
+		for i := range backends {
+			fmt.Fprintf(out, "  %5.1f%% (%2d chk)", p.Shares[i]*100, p.Chunks[i])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,11 +1,13 @@
 // Command swsearch runs a Smith-Waterman protein database search: the
-// paper's Algorithm 1 (single device) or Algorithm 2 (heterogeneous
-// CPU+Phi), printing the top hits with optional alignments.
+// paper's Algorithm 1 (single device), Algorithm 2 (heterogeneous
+// CPU+Phi) or its N-device cluster generalisation, printing the top hits
+// with optional alignments.
 //
 // Usage:
 //
 //	swsearch -db db.fasta -query q.fasta [flags]
 //	swsearch -synthetic 0.01 -queryindex 3 [flags]
+//	swsearch -synthetic 0.01 -devices xeon,phi,phi -dist dynamic
 //
 // Flags select the kernel variant, device model, thread count, scheduling
 // policy, substitution matrix and gap penalties; see -help.
@@ -15,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"heterosw"
@@ -28,6 +32,9 @@ func main() {
 		queryIndex = flag.Int("queryindex", 0, "index of the query record (within -query, or among the 20 paper queries with -synthetic)")
 		hetero     = flag.Bool("hetero", false, "run the heterogeneous CPU+Phi search (Algorithm 2)")
 		phiShare   = flag.Float64("phishare", 0.55, "fraction of the database offloaded to the Phi with -hetero")
+		devices    = flag.String("devices", "", "comma-separated cluster roster (e.g. xeon,phi,phi); overrides -hetero/-device")
+		dist       = flag.String("dist", "static", "cluster workload distribution with -devices: static, dynamic, guided")
+		shares     = flag.String("shares", "", "comma-separated static residue shares with -devices (model-balanced when empty)")
 		device     = flag.String("device", "xeon", "device model: xeon or phi")
 		variant    = flag.String("variant", "intrinsic-SP", "kernel variant: no-vec-QP, no-vec-SP, simd-QP, simd-SP, intrinsic-QP, intrinsic-SP")
 		matrix     = flag.String("matrix", "BLOSUM62", "substitution matrix: BLOSUM45/50/62/80, PAM250")
@@ -90,7 +97,51 @@ func main() {
 
 	start := time.Now()
 	var res *heterosw.Result
-	if *hetero {
+	if *devices != "" {
+		kinds := []heterosw.DeviceKind{}
+		for _, d := range strings.Split(*devices, ",") {
+			kinds = append(kinds, heterosw.DeviceKind(strings.TrimSpace(d)))
+		}
+		var shareList []float64
+		if *shares != "" {
+			for _, s := range strings.Split(*shares, ",") {
+				v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if perr != nil {
+					fatal(perr)
+				}
+				shareList = append(shareList, v)
+			}
+		}
+		// -threads applies to every backend in cluster mode (0 = each
+		// device's maximum).
+		var perBackend []int
+		if *threads > 0 {
+			perBackend = make([]int, len(kinds))
+			for i := range perBackend {
+				perBackend[i] = *threads
+			}
+		}
+		cl, cerr := heterosw.NewCluster(db, heterosw.ClusterOptions{
+			Options: opt,
+			Devices: kinds,
+			Threads: perBackend,
+			Dist:    *dist,
+			Shares:  shareList,
+		})
+		if cerr != nil {
+			fatal(cerr)
+		}
+		cres, cerr := cl.Search(query)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("cluster:  %d backends, %s distribution\n", len(cres.Backends), *dist)
+		for _, b := range cres.Backends {
+			fmt.Printf("  %-8s %5.1f%% of residues, %3d chunk(s), %8.4fs simulated, %d threads\n",
+				b.Name, b.Share*100, b.Chunks, b.SimSeconds, b.Threads)
+		}
+		res = &cres.Result
+	} else if *hetero {
 		hres, herr := db.SearchHetero(query, heterosw.HeteroOptions{Options: opt, PhiShare: *phiShare})
 		if herr != nil {
 			fatal(herr)

@@ -14,6 +14,12 @@
 //   - the heterogeneous CPU+coprocessor execution of the paper's
 //     Algorithm 2, with a static workload split and overlapped offload —
 //     see Database.SearchHetero;
+//   - an N-device cluster dispatcher generalising Algorithm 2 to any
+//     roster of modelled devices, with static (residue split), dynamic
+//     and guided (device-level chunk queue) workload distributions,
+//     batched multi-query search and a streaming Submit/Results pipeline
+//     — see NewCluster, Cluster.Search, Cluster.SearchBatch and
+//     Cluster.Submit;
 //   - deterministic performance models of the paper's two devices (dual
 //     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
 //     alongside the real wall-clock throughput of the pure-Go kernels;
@@ -29,7 +35,23 @@
 //	    fmt.Println(h.ID, h.Score)
 //	}
 //
-// The cmd/swbench tool regenerates every figure of the paper's evaluation;
-// see DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured comparison.
+// # Cluster search
+//
+// The paper statically splits the database between exactly one Xeon and
+// one Xeon Phi and names a dynamic distribution strategy as future work.
+// NewCluster builds that future work: a dispatcher over any device roster,
+// with the static split reproducing Algorithm 2 exactly when the roster is
+// {xeon, phi}, and a work-stealing chunk queue ("dynamic"/"guided") that
+// lets idle devices claim lane-group chunks as they drain:
+//
+//	cl, err := heterosw.NewCluster(db, heterosw.ClusterOptions{
+//	    Devices: []heterosw.DeviceKind{heterosw.DeviceXeon, heterosw.DevicePhi, heterosw.DevicePhi},
+//	    Dist:    "dynamic",
+//	})
+//	results, err := cl.SearchBatch(queries) // amortises pre-processing
+//
+// The cmd/swbench tool regenerates every figure of the paper's evaluation
+// and compares distribution strategies over arbitrary rosters (-devices
+// xeon,phi,phi -dist dynamic); see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured comparison.
 package heterosw

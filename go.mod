@@ -1,0 +1,3 @@
+module heterosw
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"heterosw/internal/device"
@@ -18,9 +19,12 @@ import (
 // Engine is a single-device Smith-Waterman database-search engine: the
 // paper's Algorithm 1. It owns a database (already pre-processed per step
 // 2), a device model for simulated timing, and cached lane-group packings.
+// An Engine is safe for concurrent Search calls.
 type Engine struct {
-	db    *seqdb.Database
-	dev   *device.Model
+	db  *seqdb.Database
+	dev *device.Model
+
+	mu    sync.Mutex // guards parts
 	parts map[partKey]*partition
 }
 
@@ -59,6 +63,8 @@ func (e *Engine) Device() *device.Model { return e.dev }
 // width and long-sequence threshold.
 func (e *Engine) partitionFor(lanes, longThreshold int) *partition {
 	key := partKey{lanes, longThreshold}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if p, ok := e.parts[key]; ok {
 		return p
 	}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"heterosw/internal/device"
-	"heterosw/internal/offload"
 	"heterosw/internal/seqdb"
 	"heterosw/internal/sequence"
 )
@@ -45,8 +43,10 @@ type HeteroResult struct {
 // SearchHetero performs Algorithm 2: the database is split between host
 // and coprocessor with a static distribution, the coprocessor part runs as
 // an asynchronous offload region while the host computes its own share,
-// and the score lists are merged and sorted. The functional execution uses
-// real concurrency mirroring the signal/wait structure.
+// and the score lists are merged and sorted. It is a thin two-backend
+// wrapper over Dispatcher: the MIC plays shard 0 and the CPU shard 1, the
+// exact deal the original fixed-pair implementation performed, so scores
+// and simulated times are reproduced bit-for-bit.
 func SearchHetero(db *seqdb.Database, query *sequence.Sequence, opt HeteroOptions) (*HeteroResult, error) {
 	if db == nil {
 		return nil, fmt.Errorf("core: nil database")
@@ -67,105 +67,28 @@ func SearchHetero(db *seqdb.Database, query *sequence.Sequence, opt HeteroOption
 		share = OptimalMICShare(db, query.Len(), opt.Search, cpu, mic, opt.CPUThreads, opt.MICThreads)
 	}
 
-	// Step 2 of Algorithm 2: sort_and_split.
-	micDB, cpuDB := db.Split(share)
-
-	cpuEng, err := NewEngine(cpuDB, cpu)
+	disp, err := NewDispatcher(db, []Backend{
+		NewBackend(mic.Short, mic, opt.MICThreads),
+		NewBackend(cpu.Short, cpu, opt.CPUThreads),
+	})
 	if err != nil {
 		return nil, err
 	}
-	micEng, err := NewEngine(micDB, mic)
+	res, err := disp.Search(query, DispatchOptions{
+		Search: opt.Search,
+		Dist:   DistStatic,
+		Shares: []float64{share, 1 - share},
+	})
 	if err != nil {
 		return nil, err
 	}
-	cpuOpt := opt.Search
-	cpuOpt.Threads = opt.CPUThreads
-	cpuOpt.TopK = 0
-	micOpt := opt.Search
-	micOpt.Threads = opt.MICThreads
-	micOpt.TopK = 0
-
-	// Asynchronous offload of the MIC share (signal), host share runs
-	// meanwhile, then wait. Empty shares skip their device entirely: at
-	// a 0% MIC share Algorithm 2 degenerates to Algorithm 1 with no
-	// offload region launched.
-	var micRes, cpuRes *Result
-	var micErr, cpuErr error
-	if micDB.Len() > 0 {
-		sig := offload.Start(func() {
-			micRes, micErr = micEng.Search(query, micOpt)
-		})
-		if cpuDB.Len() > 0 {
-			cpuRes, cpuErr = cpuEng.Search(query, cpuOpt)
-		}
-		sig.Wait()
-	} else if cpuDB.Len() > 0 {
-		cpuRes, cpuErr = cpuEng.Search(query, cpuOpt)
-	}
-	if err := firstErr(cpuErr, micErr); err != nil {
-		return nil, err
-	}
-	if cpuRes == nil {
-		cpuRes = &Result{Threads: 0}
-	}
-	if micRes == nil {
-		micRes = &Result{Threads: 0}
-	}
-
-	// Merge scores back into caller order. Split produced two fresh
-	// databases, so map by sequence identity.
-	out := &HeteroResult{
-		CPUSeconds: cpuRes.SimSeconds,
-		MICSeconds: micRes.SimSeconds,
-	}
-	if db.Residues() > 0 {
-		out.MICShare = float64(micDB.Residues()) / float64(db.Residues())
-		out.CPUShare = float64(cpuDB.Residues()) / float64(db.Residues())
-	}
-	scores := make([]int32, db.Len())
-	byPtr := make(map[*sequence.Sequence]int32, db.Len())
-	for i := 0; i < cpuDB.Len(); i++ {
-		byPtr[cpuDB.Seq(i)] = cpuRes.Scores[i]
-	}
-	for i := 0; i < micDB.Len(); i++ {
-		byPtr[micDB.Seq(i)] = micRes.Scores[i]
-	}
-	for i := 0; i < db.Len(); i++ {
-		scores[i] = byPtr[db.Seq(i)]
-	}
-	out.Scores = scores
-	out.Stats = cpuRes.Stats
-	out.Stats.Add(micRes.Stats)
-	out.Threads = cpuRes.Threads + micRes.Threads
-
-	// Simulated completion: host and offload region overlap (Algorithm
-	// 2's signal/wait); the final sort of step 4 is serial on the host
-	// and small.
-	out.SimSeconds = cpuRes.SimSeconds
-	if micRes.SimSeconds > out.SimSeconds {
-		out.SimSeconds = micRes.SimSeconds
-	}
-	if out.SimSeconds > 0 {
-		out.SimGCUPS = float64(out.Stats.Cells) / out.SimSeconds / 1e9
-	}
-	out.WallSeconds = cpuRes.WallSeconds
-	if micRes.WallSeconds > out.WallSeconds {
-		out.WallSeconds = micRes.WallSeconds
-	}
-	if out.WallSeconds > 0 {
-		out.WallGCUPS = float64(out.Stats.Cells) / out.WallSeconds / 1e9
-	}
-
-	hits := make([]Hit, db.Len())
-	for i, s := range scores {
-		hits[i] = Hit{SeqIndex: i, ID: db.Seq(i).ID, Score: s}
-	}
-	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
-	if opt.Search.TopK > 0 && opt.Search.TopK < len(hits) {
-		hits = hits[:opt.Search.TopK]
-	}
-	out.Hits = hits
-	return out, nil
+	return &HeteroResult{
+		Result:     res.Result,
+		MICSeconds: res.PerBackend[0].SimSeconds,
+		CPUSeconds: res.PerBackend[1].SimSeconds,
+		MICShare:   res.PerBackend[0].Share,
+		CPUShare:   res.PerBackend[1].Share,
+	}, nil
 }
 
 func firstErr(errs ...error) error {

@@ -220,6 +220,120 @@ func Simulate(costs []float64, threads int, policy Policy, chunkSize int, dispat
 	return res
 }
 
+// DeviceSchedule is the outcome of scheduling device-level chunks onto a
+// set of heterogeneous workers (compute devices), the cluster analogue of
+// Result for the in-device worksharing loop.
+type DeviceSchedule struct {
+	// Assign maps each chunk (in consumption order) to the worker that
+	// claimed it.
+	Assign []int
+	// Busy is each worker's finish time, including its start offset.
+	Busy []float64
+	// Chunks counts the chunks each worker claimed.
+	Chunks []int
+	// Makespan is the latest finish time across workers.
+	Makespan float64
+}
+
+// ScheduleChunks replays a device-level dynamic chunk queue over
+// heterogeneous workers: chunks are consumed in the given order and each
+// goes to the worker with the earliest predicted finish for it
+// (busy[w] + cost(chunk, w), ties to the lowest worker index). This is the
+// cost-aware analogue of the self-scheduling the paper's dynamic OpenMP
+// policy performs inside one device, lifted to the cluster level where
+// workers differ in speed: a fast device keeps stealing chunks while a
+// slow one is still busy, so the queue drains with a balanced tail.
+//
+// start[w] seeds worker w's busy time (parallel-region launch, one-time
+// query transfer for offload devices); nil means all zeros. The function
+// is deterministic: identical inputs produce identical schedules.
+func ScheduleChunks(n, workers int, start []float64, cost func(chunk, worker int) float64) DeviceSchedule {
+	if workers < 1 {
+		workers = 1
+	}
+	s := DeviceSchedule{
+		Assign: make([]int, n),
+		Busy:   make([]float64, workers),
+		Chunks: make([]int, workers),
+	}
+	for w := 0; w < workers && w < len(start); w++ {
+		s.Busy[w] = start[w]
+	}
+	for c := 0; c < n; c++ {
+		best, bestFinish := 0, s.Busy[0]+cost(c, 0)
+		for w := 1; w < workers; w++ {
+			if f := s.Busy[w] + cost(c, w); f < bestFinish {
+				best, bestFinish = w, f
+			}
+		}
+		s.Assign[c] = best
+		s.Busy[best] = bestFinish
+		s.Chunks[best]++
+	}
+	for _, b := range s.Busy {
+		if b > s.Makespan {
+			s.Makespan = b
+		}
+	}
+	return s
+}
+
+// ChunkSizes partitions a total workload (in any additive unit — the
+// dispatcher uses residues) into device-level chunk sizes, mirroring the
+// OpenMP chunking rules at cluster granularity. Dynamic yields equal
+// chunks of size chunk; Guided yields geometrically shrinking chunks of
+// remaining/(2*workers), floored at chunk, so the queue starts with large
+// grants and finishes with small ones that fill the load-balancing tail.
+// Static returns one equal block per worker (the degenerate distribution
+// the cluster dispatcher's static path expresses through residue shares
+// instead).
+func ChunkSizes(policy Policy, total int64, workers int, chunk int64) []int64 {
+	if total <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var sizes []int64
+	switch policy {
+	case Static:
+		block := (total + int64(workers) - 1) / int64(workers)
+		for rem := total; rem > 0; rem -= block {
+			s := block
+			if s > rem {
+				s = rem
+			}
+			sizes = append(sizes, s)
+		}
+	case Dynamic:
+		for rem := total; rem > 0; rem -= chunk {
+			s := chunk
+			if s > rem {
+				s = rem
+			}
+			sizes = append(sizes, s)
+		}
+	case Guided:
+		for rem := total; rem > 0; {
+			s := rem / int64(2*workers)
+			if s < chunk {
+				s = chunk
+			}
+			if s > rem {
+				s = rem
+			}
+			sizes = append(sizes, s)
+			rem -= s
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %d", int(policy)))
+	}
+	return sizes
+}
+
 // Parallel executes fn(i, worker) for every i in [0, n) using a pool of
 // real goroutines. worker identifies the executing worker in [0, workers),
 // so callers can hand each worker private scratch buffers. workers <= 0

@@ -222,3 +222,100 @@ func TestPolicyStringRoundTrip(t *testing.T) {
 		t.Fatal("ParsePolicy accepted junk")
 	}
 }
+
+func TestScheduleChunksBalance(t *testing.T) {
+	// Worker 1 is 3x faster than worker 0; over many equal chunks it must
+	// claim roughly 3x as many, and the makespan must stay within one
+	// chunk of the perfectly balanced completion time.
+	n := 200
+	cost := func(chunk, worker int) float64 {
+		if worker == 1 {
+			return 1
+		}
+		return 3
+	}
+	s := ScheduleChunks(n, 2, nil, cost)
+	if s.Chunks[0]+s.Chunks[1] != n {
+		t.Fatalf("chunks lost: %v", s.Chunks)
+	}
+	ratio := float64(s.Chunks[1]) / float64(s.Chunks[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("fast worker claimed %v (ratio %.2f, want ~3)", s.Chunks, ratio)
+	}
+	// Aggregate rate 1/3+1 chunks per unit -> ideal makespan n/(4/3).
+	ideal := float64(n) / (4.0 / 3.0)
+	if s.Makespan < ideal || s.Makespan > ideal+3 {
+		t.Fatalf("makespan %v, ideal %v", s.Makespan, ideal)
+	}
+	if s.Makespan != max(s.Busy[0], s.Busy[1]) {
+		t.Fatalf("makespan %v != max busy %v", s.Makespan, s.Busy)
+	}
+}
+
+func TestScheduleChunksDeterministicAndSeeded(t *testing.T) {
+	cost := func(chunk, worker int) float64 { return float64(chunk%7 + worker + 1) }
+	a := ScheduleChunks(50, 3, []float64{5, 0, 0}, cost)
+	b := ScheduleChunks(50, 3, []float64{5, 0, 0}, cost)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("nondeterministic assignment at chunk %d", i)
+		}
+	}
+	if a.Busy[0] < 5 {
+		t.Fatalf("start offset ignored: busy %v", a.Busy)
+	}
+	// A heavily penalised worker should claim nothing.
+	s := ScheduleChunks(10, 2, []float64{1e12, 0}, cost)
+	if s.Chunks[0] != 0 || s.Chunks[1] != 10 {
+		t.Fatalf("seeded-out worker still claimed chunks: %v", s.Chunks)
+	}
+}
+
+func TestChunkSizesConservation(t *testing.T) {
+	for _, p := range []Policy{Static, Dynamic, Guided} {
+		for _, total := range []int64{1, 7, 1000, 54321} {
+			sizes := ChunkSizes(p, total, 3, 10)
+			var sum int64
+			for _, s := range sizes {
+				if s <= 0 {
+					t.Fatalf("%v total %d: non-positive chunk %d", p, total, s)
+				}
+				sum += s
+			}
+			if sum != total {
+				t.Fatalf("%v total %d: chunks sum to %d", p, total, sum)
+			}
+		}
+	}
+	if ChunkSizes(Dynamic, 0, 3, 10) != nil {
+		t.Fatal("zero total must yield no chunks")
+	}
+}
+
+func TestChunkSizesShapes(t *testing.T) {
+	dyn := ChunkSizes(Dynamic, 100, 4, 10)
+	if len(dyn) != 10 {
+		t.Fatalf("dynamic: %d chunks, want 10", len(dyn))
+	}
+	for _, s := range dyn {
+		if s != 10 {
+			t.Fatalf("dynamic chunk %d, want 10", s)
+		}
+	}
+	g := ChunkSizes(Guided, 10000, 2, 5)
+	if len(g) < 3 {
+		t.Fatalf("guided produced only %d chunks", len(g))
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] > g[i-1] {
+			t.Fatalf("guided chunks grow at %d: %v", i, g[:i+1])
+		}
+	}
+	if g[0] != 10000/4 {
+		t.Fatalf("first guided chunk %d, want remaining/(2*workers) = 2500", g[0])
+	}
+	st := ChunkSizes(Static, 90, 4, 1)
+	if len(st) != 4 {
+		t.Fatalf("static: %d blocks, want 4", len(st))
+	}
+}

@@ -200,33 +200,116 @@ func PaddingEfficiency(groups []*LaneGroup) float64 {
 // Algorithm 2 (first return value plays the coprocessor's part). Sequences
 // are dealt greedily in processing order so both halves inherit the full
 // length distribution; each half preserves the parent's sort mode.
-func (db *Database) Split(frac float64) (first, second *Database) {
-	if frac <= 0 {
-		return New(nil, db.sorted), New(db.seqsInOrder(), db.sorted)
-	}
-	if frac >= 1 {
-		return New(db.seqsInOrder(), db.sorted), New(nil, db.sorted)
-	}
-	var a, b []*sequence.Sequence
-	var ra, rb int64
-	for _, idx := range db.order {
-		s := db.seqs[idx]
-		// Assign to whichever side is furthest below its residue target.
-		if float64(ra)*(1-frac) <= float64(rb)*frac {
-			a = append(a, s)
-			ra += int64(s.Len())
-		} else {
-			b = append(b, s)
-			rb += int64(s.Len())
-		}
-	}
-	return New(a, db.sorted), New(b, db.sorted)
+//
+// firstIdx and secondIdx map each half's caller-visible sequence order
+// back to the parent database's indices, so per-sequence results computed
+// on a half can be merged into parent order without relying on pointer
+// identity.
+func (db *Database) Split(frac float64) (first, second *Database, firstIdx, secondIdx []int) {
+	parts, idx := db.SplitN([]float64{frac, 1 - frac})
+	return parts[0], parts[1], idx[0], idx[1]
 }
 
-func (db *Database) seqsInOrder() []*sequence.Sequence {
-	out := make([]*sequence.Sequence, len(db.order))
-	for i, idx := range db.order {
-		out[i] = db.seqs[idx]
+// DealGreedy deals items with the given lengths (in input order) into
+// len(fracs) parts holding approximately the requested residue fractions:
+// each item goes to the eligible part furthest below its residue target —
+// argmin res[i]/frac[i], compared by cross-multiplication, ties to the
+// lowest index (for N=2 this reproduces the original two-way deal
+// exactly). The fractions are ratios and need not sum to 1; non-positive
+// fractions yield empty parts (all non-positive falls back to equal
+// shares). The return value lists each part's input positions, and is the
+// single deal used by SplitN (over materialised sequences) and
+// SplitLengthsN (over bare lengths), so the shape-level planner can never
+// diverge from the materialised split.
+func DealGreedy(lengths []int, fracs []float64) [][]int {
+	n := len(fracs)
+	if n == 0 {
+		return nil
+	}
+	f := make([]float64, n)
+	any := false
+	for i, v := range fracs {
+		if v > 0 {
+			f[i] = v
+			any = true
+		}
+	}
+	if !any {
+		for i := range f {
+			f[i] = 1
+		}
+	}
+	parts := make([][]int, n)
+	res := make([]int64, n)
+	for pos, l := range lengths {
+		best := -1
+		for i := 0; i < n; i++ {
+			if f[i] <= 0 {
+				continue
+			}
+			if best < 0 || float64(res[i])*f[best] < float64(res[best])*f[i] {
+				best = i
+			}
+		}
+		parts[best] = append(parts[best], pos)
+		res[best] += int64(l)
+	}
+	return parts
+}
+
+// SplitN generalises Split to N shards: fracs[i] is the target residue
+// fraction of shard i. Sequences are dealt greedily in processing order
+// (see DealGreedy), so every shard inherits the full length distribution —
+// the static workload distribution of Algorithm 2 extended to an N-device
+// cluster.
+//
+// The second return value maps shard-local sequence indices back to the
+// parent: parent index = idx[i][j] for shard i's j-th sequence.
+func (db *Database) SplitN(fracs []float64) ([]*Database, [][]int) {
+	parts := DealGreedy(db.OrderLengths(), fracs)
+	seqs := make([][]*sequence.Sequence, len(fracs))
+	idx := make([][]int, len(fracs))
+	for i, positions := range parts {
+		for _, p := range positions {
+			si := db.order[p]
+			seqs[i] = append(seqs[i], db.seqs[si])
+			idx[i] = append(idx[i], si)
+		}
+	}
+	out := make([]*Database, len(fracs))
+	for i := range out {
+		out[i] = New(seqs[i], db.sorted)
+	}
+	return out, idx
+}
+
+// OrderSlice returns a database over the window [start, end) of the
+// processing order, plus the parent indices (caller order) of its members —
+// the building block of the cluster dispatcher's device-level chunk queue.
+func (db *Database) OrderSlice(start, end int) (*Database, []int) {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(db.order) {
+		end = len(db.order)
+	}
+	if end < start {
+		end = start
+	}
+	seqs := make([]*sequence.Sequence, 0, end-start)
+	idx := make([]int, 0, end-start)
+	for _, si := range db.order[start:end] {
+		seqs = append(seqs, db.seqs[si])
+		idx = append(idx, si)
+	}
+	return New(seqs, db.sorted), idx
+}
+
+// OrderLengths returns the sequence lengths in processing order.
+func (db *Database) OrderLengths() []int {
+	out := make([]int, len(db.order))
+	for i, si := range db.order {
+		out[i] = db.seqs[si].Len()
 	}
 	return out
 }

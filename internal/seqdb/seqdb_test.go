@@ -167,7 +167,7 @@ func TestSplitFractions(t *testing.T) {
 	seqs := makeSeqs(rng, 400, 120)
 	db := New(seqs, true)
 	for _, frac := range []float64{0.1, 0.25, 0.5, 0.55, 0.9} {
-		first, second := db.Split(frac)
+		first, second, firstIdx, secondIdx := db.Split(frac)
 		if first.Len()+second.Len() != db.Len() {
 			t.Fatalf("frac %.2f: split loses sequences", frac)
 		}
@@ -178,18 +178,145 @@ func TestSplitFractions(t *testing.T) {
 		if got < frac-0.03 || got > frac+0.03 {
 			t.Fatalf("frac %.2f: first half has %.3f of residues", frac, got)
 		}
+		for j, pi := range firstIdx {
+			if first.Seq(j) != db.Seq(pi) {
+				t.Fatalf("frac %.2f: firstIdx[%d]=%d maps to the wrong sequence", frac, j, pi)
+			}
+		}
+		for j, pi := range secondIdx {
+			if second.Seq(j) != db.Seq(pi) {
+				t.Fatalf("frac %.2f: secondIdx[%d]=%d maps to the wrong sequence", frac, j, pi)
+			}
+		}
 	}
 }
 
 func TestSplitEdges(t *testing.T) {
 	db := New(makeSeqs(rand.New(rand.NewSource(24)), 10, 30), true)
-	first, second := db.Split(0)
+	first, second, _, _ := db.Split(0)
 	if first.Len() != 0 || second.Len() != 10 {
 		t.Fatalf("Split(0) = %d/%d", first.Len(), second.Len())
 	}
-	first, second = db.Split(1)
+	first, second, _, _ = db.Split(1)
 	if first.Len() != 10 || second.Len() != 0 {
 		t.Fatalf("Split(1) = %d/%d", first.Len(), second.Len())
+	}
+}
+
+// Property: SplitN partitions the index space exactly — every parent index
+// appears in exactly one shard mapping, mappings agree with shard content,
+// and realised fractions track the requested ones.
+func TestSplitNMapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	db := New(makeSeqs(rng, 600, 150), true)
+	fracs := []float64{0.2, 0.5, 0.3}
+	shards, idx := db.SplitN(fracs)
+	if len(shards) != 3 || len(idx) != 3 {
+		t.Fatalf("SplitN arity: %d shards, %d mappings", len(shards), len(idx))
+	}
+	seen := make(map[int]int)
+	var total int64
+	for i, sh := range shards {
+		if sh.Len() != len(idx[i]) {
+			t.Fatalf("shard %d: %d sequences, %d mapped indices", i, sh.Len(), len(idx[i]))
+		}
+		for j, pi := range idx[i] {
+			if sh.Seq(j) != db.Seq(pi) {
+				t.Fatalf("shard %d: idx[%d]=%d maps to the wrong sequence", i, j, pi)
+			}
+			seen[pi]++
+		}
+		total += sh.Residues()
+		got := float64(sh.Residues()) / float64(db.Residues())
+		if got < fracs[i]-0.05 || got > fracs[i]+0.05 {
+			t.Fatalf("shard %d holds %.3f of residues, want ~%.2f", i, got, fracs[i])
+		}
+	}
+	if total != db.Residues() {
+		t.Fatalf("SplitN loses residues: %d != %d", total, db.Residues())
+	}
+	if len(seen) != db.Len() {
+		t.Fatalf("%d distinct parent indices, want %d", len(seen), db.Len())
+	}
+	for pi, c := range seen {
+		if c != 1 {
+			t.Fatalf("parent index %d appears %d times", pi, c)
+		}
+	}
+}
+
+// SplitN with a two-element fraction vector must reproduce Split exactly:
+// the N-way greedy deal generalises, it does not replace, the two-way one.
+func TestSplitNMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	db := New(makeSeqs(rng, 300, 90), true)
+	for _, frac := range []float64{0, 0.25, 0.55, 1} {
+		a, b, ai, bi := db.Split(frac)
+		shards, idx := db.SplitN([]float64{frac, 1 - frac})
+		if a.Len() != shards[0].Len() || b.Len() != shards[1].Len() {
+			t.Fatalf("frac %.2f: Split %d/%d != SplitN %d/%d",
+				frac, a.Len(), b.Len(), shards[0].Len(), shards[1].Len())
+		}
+		for j := range ai {
+			if ai[j] != idx[0][j] {
+				t.Fatalf("frac %.2f: first mapping diverges at %d", frac, j)
+			}
+		}
+		for j := range bi {
+			if bi[j] != idx[1][j] {
+				t.Fatalf("frac %.2f: second mapping diverges at %d", frac, j)
+			}
+		}
+	}
+}
+
+func TestDealGreedyEdges(t *testing.T) {
+	if got := DealGreedy([]int{5, 7}, nil); got != nil {
+		t.Fatalf("empty fracs: %v", got)
+	}
+	parts := DealGreedy(nil, []float64{0.5, 0.5})
+	if len(parts) != 2 || parts[0] != nil || parts[1] != nil {
+		t.Fatalf("empty lengths: %v", parts)
+	}
+	parts = DealGreedy([]int{3, 3, 3}, []float64{-1, 0})
+	if len(parts[0])+len(parts[1]) != 3 {
+		t.Fatalf("all-non-positive fracs lose items: %v", parts)
+	}
+}
+
+func TestOrderSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	db := New(makeSeqs(rng, 100, 60), true)
+	lens := db.OrderLengths()
+	if !sort.IntsAreSorted(lens) {
+		t.Fatal("processing order not length-sorted")
+	}
+	seen := make(map[int]bool)
+	for start := 0; start < db.Len(); start += 33 {
+		end := start + 33
+		chunk, idx := db.OrderSlice(start, end)
+		if end > db.Len() {
+			end = db.Len()
+		}
+		if chunk.Len() != end-start {
+			t.Fatalf("window [%d,%d): %d sequences", start, end, chunk.Len())
+		}
+		for j, pi := range idx {
+			if chunk.Seq(j) != db.Seq(pi) {
+				t.Fatalf("window [%d,%d): idx[%d]=%d maps wrong", start, end, j, pi)
+			}
+			if seen[pi] {
+				t.Fatalf("parent index %d appears in two windows", pi)
+			}
+			seen[pi] = true
+		}
+	}
+	if len(seen) != db.Len() {
+		t.Fatalf("windows cover %d of %d sequences", len(seen), db.Len())
+	}
+	empty, idx := db.OrderSlice(5, 5)
+	if empty.Len() != 0 || len(idx) != 0 {
+		t.Fatal("empty window not empty")
 	}
 }
 
@@ -201,7 +328,7 @@ func TestSplitPartitionProperty(t *testing.T) {
 		seqs := makeSeqs(rng, int(n%60)+1, 50)
 		db := New(seqs, true)
 		frac := float64(fr%101) / 100
-		a, b := db.Split(frac)
+		a, b, _, _ := db.Split(frac)
 		ids := make(map[*sequence.Sequence]int)
 		for i := 0; i < a.Len(); i++ {
 			ids[a.Seq(i)]++

@@ -60,26 +60,26 @@ func PackShapes(lengths []int, lanes int, sortAsc bool, longThreshold int) []dev
 
 // SplitLengths partitions lengths into two parts holding approximately frac
 // and 1-frac of the residues, using the same greedy deal as
-// Database.Split over the shortest-first order. It serves the shape-level
-// simulation of the heterogeneous split sweep.
+// Database.Split over the shortest-first order (DealGreedy). It serves the
+// shape-level simulation of the heterogeneous split sweep.
 func SplitLengths(lengths []int, frac float64) (first, second []int) {
+	parts := SplitLengthsN(lengths, []float64{frac, 1 - frac})
+	return parts[0], parts[1]
+}
+
+// SplitLengthsN is the shape-level counterpart of Database.SplitN: it
+// deals lengths (shortest-first) into len(fracs) parts with the same
+// greedy residue deal (DealGreedy). It serves the cluster dispatcher's
+// full-scale planning, where no database is materialised.
+func SplitLengthsN(lengths []int, fracs []float64) [][]int {
 	ls := append([]int(nil), lengths...)
 	sort.Ints(ls)
-	if frac <= 0 {
-		return nil, ls
-	}
-	if frac >= 1 {
-		return ls, nil
-	}
-	var ra, rb int64
-	for _, l := range ls {
-		if float64(ra)*(1-frac) <= float64(rb)*frac {
-			first = append(first, l)
-			ra += int64(l)
-		} else {
-			second = append(second, l)
-			rb += int64(l)
+	positions := DealGreedy(ls, fracs)
+	parts := make([][]int, len(fracs))
+	for i, ps := range positions {
+		for _, p := range ps {
+			parts[i] = append(parts[i], ls[p])
 		}
 	}
-	return first, second
+	return parts
 }

@@ -2,6 +2,7 @@ package heterosw
 
 import (
 	"fmt"
+	"sync"
 
 	"heterosw/internal/core"
 	"heterosw/internal/seqdb"
@@ -15,7 +16,9 @@ import (
 // packings, so repeated searches amortise pre-processing exactly as the
 // paper's step 2 does.
 type Database struct {
-	db      *seqdb.Database
+	db *seqdb.Database
+
+	mu      sync.Mutex // guards engines
 	engines map[DeviceKind]*core.Engine
 }
 
@@ -60,6 +63,8 @@ func (d *Database) engineFor(kind DeviceKind) (*core.Engine, error) {
 	if kind == "" {
 		kind = DeviceXeon
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if e, ok := d.engines[kind]; ok {
 		return e, nil
 	}
