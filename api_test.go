@@ -117,6 +117,56 @@ func TestSearchHetero(t *testing.T) {
 	}
 }
 
+// NoShareDefault makes a literal zero coprocessor share expressible
+// without the legacy negative sentinel, while zero-value options keep the
+// paper's 0.55 default.
+func TestHeteroNoShareDefault(t *testing.T) {
+	db, seqs := tinyDB(t)
+	q := seqs[0]
+	zero, err := db.SearchHetero(q, HeteroOptions{NoShareDefault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.PhiShare != 0 || zero.CPUShare != 1 {
+		t.Fatalf("explicit zero share realised as %+v", zero)
+	}
+	if zero.PhiSeconds != 0 {
+		t.Fatalf("Phi busy %v with a zero share", zero.PhiSeconds)
+	}
+	// The legacy sentinel still works for existing callers...
+	legacy, err := db.SearchHetero(q, HeteroOptions{PhiShare: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.PhiShare != 0 {
+		t.Fatalf("legacy sentinel realised as %+v", legacy)
+	}
+	// ...but is rejected when the explicit mode is on.
+	if _, err := db.SearchHetero(q, HeteroOptions{PhiShare: -1, NoShareDefault: true}); err == nil {
+		t.Error("negative share accepted with NoShareDefault")
+	}
+	// A set share behaves identically in both modes.
+	a, err := db.SearchHetero(q, HeteroOptions{PhiShare: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.SearchHetero(q, HeteroOptions{PhiShare: 0.4, NoShareDefault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PhiShare != b.PhiShare || a.Scores[0] != b.Scores[0] {
+		t.Fatalf("explicit mode changed a set share: %v vs %v", a.PhiShare, b.PhiShare)
+	}
+	// Zero-value options still mean the paper's 0.55.
+	def, err := db.SearchHetero(q, HeteroOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.PhiShare == 0 {
+		t.Fatal("zero-value options lost the paper default")
+	}
+}
+
 func TestAlignAPI(t *testing.T) {
 	a := NewSequence("a", "MKWVLAARND")
 	b := NewSequence("b", "GGMKWVLAGG")

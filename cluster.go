@@ -1,19 +1,30 @@
 package heterosw
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"heterosw/internal/core"
+	"heterosw/internal/qsched"
 	"heterosw/internal/sequence"
 )
+
+// ErrClusterClosed is returned by the scheduled entry points
+// (SearchScheduled and the HTTP front end) after Cluster.CloseNow. Direct
+// Search and SearchBatch calls remain usable.
+var ErrClusterClosed = errors.New("heterosw: cluster closed")
 
 // ClusterOptions configures a Cluster over a database.
 //
 // The paper's Algorithm 2 hardcodes one Xeon host and one Xeon Phi and
 // names a dynamic distribution strategy as future work; ClusterOptions
 // generalises the roster to any number of modelled devices and makes the
-// distribution strategy selectable.
+// distribution strategy selectable. The scheduling knobs below tune the
+// concurrent micro-batching query scheduler behind the streaming and
+// serving paths (Stream, SearchScheduled, the swserve HTTP front end).
 type ClusterOptions struct {
 	// Options carries the shared kernel configuration (variant, matrix,
 	// gaps, blocking, schedule). Its Device and Threads fields are
@@ -38,6 +49,52 @@ type ClusterOptions struct {
 	// ChunkResidues is the dynamic chunk granularity in residues (0
 	// derives a default from the database size and roster).
 	ChunkResidues int64
+
+	// MaxInFlight caps the micro-batches a scheduler runs concurrently
+	// (default 4). More in-flight batches keep multi-core hosts busy
+	// under bursty traffic; 1 serialises batches.
+	MaxInFlight int
+	// BatchWindow is the micro-batch coalescing window: once batches are
+	// in flight, the intake collector waits this long for more
+	// submissions before dispatching a partial batch, so backlogs
+	// coalesce into fuller batches (default 500µs; negative disables).
+	// Dispatch is immediate while the scheduler is idle, so the window
+	// adds no latency to an unloaded system.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries coalesced into one micro-batch
+	// (default 32).
+	MaxBatch int
+	// CacheSize is the capacity, in entries, of the cluster's LRU result
+	// cache, shared by every scheduled path so repeated queries are free.
+	// Each cached result holds a database-length score list and hit
+	// table, so the zero-value default is derived from the database size
+	// against a ~512 MB budget (at most 512 entries, at least 8 — about
+	// 14 entries on the full 541k-sequence Swiss-Prot). Negative disables
+	// caching.
+	CacheSize int
+}
+
+// Cache sizing when ClusterOptions.CacheSize is zero: a memory budget
+// divided by the estimated per-entry cost (scores, hits, IDs — roughly
+// cacheBytesPerSeq bytes per database sequence), clamped to
+// [minCacheSize, maxCacheSize].
+const (
+	cacheBudgetBytes = 512 << 20
+	cacheBytesPerSeq = 96
+	minCacheSize     = 8
+	maxCacheSize     = 512
+)
+
+func defaultCacheSize(dbLen int) int {
+	per := int64(dbLen)*cacheBytesPerSeq + 4096
+	n := int(cacheBudgetBytes / per)
+	if n > maxCacheSize {
+		return maxCacheSize
+	}
+	if n < minCacheSize {
+		return minCacheSize
+	}
+	return n
 }
 
 // BackendReport describes one backend's part in a cluster search.
@@ -67,47 +124,44 @@ type ClusterResult struct {
 	Backends []BackendReport
 }
 
-// StreamResult is one delivery of the streaming Submit/Results pair.
-type StreamResult struct {
-	// Index is the query's submission order, starting at 0; results are
-	// delivered in submission order.
-	Index int
-	// Query is the submitted query.
-	Query Sequence
-	// Result is the search outcome; nil when Err is set.
-	Result *ClusterResult
-	// Err reports a failed search (the stream continues past failures).
-	Err error
+// BackendTotals is one backend's cumulative accounting across every search
+// the cluster has completed, whichever concurrent batch or stream it
+// arrived on.
+type BackendTotals struct {
+	// Name identifies the backend within the roster; Device is its kind.
+	Name   string
+	Device DeviceKind
+	// Grants counts executed work grants (shards under static, claimed
+	// chunks under dynamic distributions); Residues the database residues
+	// processed; SimSeconds the accumulated simulated busy time.
+	Grants     int64
+	Residues   int64
+	SimSeconds float64
 }
 
 // Cluster is an N-device search cluster over a Database: the paper's
 // Algorithm 2 generalised to a device-count-agnostic dispatcher with
-// batched and streaming entry points. A Cluster is safe for concurrent
-// use; shard splits, chunk partitions and per-backend lane packings are
-// cached so repeated and batched queries amortise all pre-processing.
+// batched, streaming and scheduled entry points. A Cluster is safe for
+// concurrent use; shard splits, chunk partitions and per-backend lane
+// packings are cached so repeated and batched queries amortise all
+// pre-processing, and the scheduled paths share one LRU result cache so
+// repeated queries are free.
 type Cluster struct {
 	db    *Database
 	disp  *core.Dispatcher
 	dopt  core.DispatchOptions
 	kinds []DeviceKind
 
+	schedOpt qsched.Options
+	cache    *qsched.Cache[*ClusterResult]
+	keyBase  string
+
 	mu        sync.Mutex
-	queueCond *sync.Cond
-	queue     []streamJob
-	out       chan StreamResult
-	started   bool
-	closed    bool
-	submitted int
+	serving   *qsched.Scheduler[Sequence, *ClusterResult] // lazy; SearchScheduled and the HTTP front end
+	defStream *Stream                                     // lazy; the Submit/Results/Close compatibility surface
+	defClosed bool                                        // Close seen before the default stream existed
+	closed    bool                                        // set by CloseNow; scheduled paths refuse new work
 }
-
-type streamJob struct {
-	index int
-	query Sequence
-}
-
-// streamBuffer is the Results channel depth; the worker blocks once it is
-// this many undelivered results ahead of the consumer.
-const streamBuffer = 64
 
 // NewCluster builds a cluster over the database with the given roster and
 // distribution strategy.
@@ -154,6 +208,10 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cacheSize := opt.CacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultCacheSize(db.Len())
+	}
 	c := &Cluster{
 		db:    db,
 		disp:  disp,
@@ -164,9 +222,17 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 			Shares:        opt.Shares,
 			ChunkResidues: opt.ChunkResidues,
 		},
-		out: make(chan StreamResult, streamBuffer),
+		schedOpt: qsched.Options{
+			MaxBatch:    opt.MaxBatch,
+			Window:      opt.BatchWindow,
+			MaxInFlight: opt.MaxInFlight,
+		},
+		cache: qsched.NewCache[*ClusterResult](cacheSize),
 	}
-	c.queueCond = sync.NewCond(&c.mu)
+	// The cache key pairs the query residues with every option that can
+	// change a result; within one cluster the options are fixed, so the
+	// fingerprint is a constant prefix.
+	c.keyBase = fmt.Sprintf("%v|%v|%d|%+v|", c.dopt.Dist, c.dopt.Shares, c.dopt.ChunkResidues, c.dopt.Search)
 	return c, nil
 }
 
@@ -192,7 +258,8 @@ func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
 }
 
 // Search distributes one query across the cluster's backends and merges
-// the score lists — Algorithm 2 with N devices.
+// the score lists — Algorithm 2 with N devices. Search bypasses the
+// scheduler and cache; serving traffic should prefer SearchScheduled.
 func (c *Cluster) Search(query Sequence) (*ClusterResult, error) {
 	if query.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value query")
@@ -208,14 +275,22 @@ func (c *Cluster) Search(query Sequence) (*ClusterResult, error) {
 // partition and per-backend lane packings across the whole batch. Results
 // are returned in query order.
 func (c *Cluster) SearchBatch(queries []Sequence) ([]*ClusterResult, error) {
-	impls := make([]*sequence.Sequence, len(queries))
 	for i, q := range queries {
 		if q.impl == nil {
 			return nil, fmt.Errorf("heterosw: zero-value query %d", i)
 		}
+	}
+	return c.searchBatchCtx(context.Background(), queries)
+}
+
+// searchBatchCtx is the batch executor behind SearchBatch and every
+// scheduler: queries must already be validated non-zero.
+func (c *Cluster) searchBatchCtx(ctx context.Context, queries []Sequence) ([]*ClusterResult, error) {
+	impls := make([]*sequence.Sequence, len(queries))
+	for i, q := range queries {
 		impls[i] = q.impl
 	}
-	res, err := c.disp.SearchBatch(impls, c.dopt)
+	res, err := c.disp.SearchBatchContext(ctx, impls, c.dopt)
 	if err != nil {
 		return nil, err
 	}
@@ -226,69 +301,119 @@ func (c *Cluster) SearchBatch(queries []Sequence) ([]*ClusterResult, error) {
 	return out, nil
 }
 
-// Submit enqueues a query on the cluster's streaming pipeline and returns
-// immediately; the matching StreamResult arrives on Results in submission
-// order. Submit never blocks (the intake queue is unbounded), so the
-// submit-everything-then-drain pattern is safe for any batch size; the
-// worker stops at most streamBuffer undelivered results ahead of the
-// Results consumer, which bounds completed-result memory. Submit fails
-// after Close.
-func (c *Cluster) Submit(query Sequence) error {
+// cacheKey derives the scheduler dedup/cache key of a query: the cluster's
+// option fingerprint plus the raw encoded residues (the encoding is
+// injective, so no decode pass is needed), so sequences with equal
+// residues share one result whatever their IDs.
+func (c *Cluster) cacheKey(q Sequence) (string, bool) {
+	res := q.impl.Residues
+	b := make([]byte, len(c.keyBase)+len(res))
+	n := copy(b, c.keyBase)
+	for i, code := range res {
+		b[n+i] = byte(code)
+	}
+	return string(b), true
+}
+
+// newScheduler builds a micro-batching scheduler over this cluster's batch
+// executor, sharing the cluster-wide result cache.
+func (c *Cluster) newScheduler() *qsched.Scheduler[Sequence, *ClusterResult] {
+	return qsched.New(c.searchBatchCtx, c.cacheKey, c.cache, c.schedOpt)
+}
+
+// servingScheduler returns the cluster-wide scheduler used by
+// SearchScheduled and the HTTP front end, creating it on first use.
+func (c *Cluster) servingScheduler() (*qsched.Scheduler[Sequence, *ClusterResult], error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClusterClosed
+	}
+	if c.serving == nil {
+		c.serving = c.newScheduler()
+	}
+	return c.serving, nil
+}
+
+// SearchScheduled routes one query through the cluster's serving
+// scheduler: concurrent callers coalesce into micro-batches (amortising
+// pre-processing exactly as SearchBatch does), identical in-flight queries
+// share one execution, and results are served from the cluster's LRU cache
+// when possible. ctx bounds the caller's wait — cancelling it abandons the
+// wait, not the computation, so the result still lands in the cache for
+// the next asker. This is the entry point the swserve HTTP front end uses.
+//
+// Results may be shared between callers; treat them as read-only.
+func (c *Cluster) SearchScheduled(ctx context.Context, query Sequence) (*ClusterResult, error) {
 	if query.impl == nil {
-		return fmt.Errorf("heterosw: zero-value query")
+		return nil, fmt.Errorf("heterosw: zero-value query")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return fmt.Errorf("heterosw: cluster stream closed")
+	s, err := c.servingScheduler()
+	if err != nil {
+		return nil, err
 	}
-	if !c.started {
-		c.started = true
-		go c.streamWorker()
+	res, err := s.Do(ctx, query)
+	if errors.Is(err, qsched.ErrClosed) {
+		return nil, ErrClusterClosed
 	}
-	c.queue = append(c.queue, streamJob{index: c.submitted, query: query})
-	c.submitted++
-	c.queueCond.Signal()
-	return nil
+	return res, err
 }
 
-// Results returns the stream delivery channel. It is closed after Close
-// once every submitted query has been delivered.
-func (c *Cluster) Results() <-chan StreamResult { return c.out }
-
-// Close ends the streaming session: no further Submit calls are accepted,
-// and Results closes once every submitted query has been searched and
-// delivered. Search and SearchBatch remain usable. Close never blocks and
-// is idempotent.
-func (c *Cluster) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return
+// Totals reports the number of completed query searches and cumulative
+// per-backend accounting (work grants, residues processed, simulated busy
+// seconds) across every entry point and concurrent batch. The swserve
+// /healthz endpoint serves this snapshot.
+func (c *Cluster) Totals() (queries int64, per []BackendTotals) {
+	q, raw := c.disp.Totals()
+	per = make([]BackendTotals, len(raw))
+	for i, bt := range raw {
+		per[i] = BackendTotals{
+			Name:       bt.Name,
+			Device:     c.kinds[i],
+			Grants:     bt.Grants,
+			Residues:   bt.Residues,
+			SimSeconds: bt.SimSeconds,
+		}
 	}
-	c.closed = true
-	if c.started {
-		c.queueCond.Signal()
-	} else {
-		close(c.out)
-	}
+	return q, per
 }
 
-func (c *Cluster) streamWorker() {
-	for {
-		c.mu.Lock()
-		for len(c.queue) == 0 && !c.closed {
-			c.queueCond.Wait()
-		}
-		if len(c.queue) == 0 {
-			c.mu.Unlock()
-			close(c.out)
-			return
-		}
-		job := c.queue[0]
-		c.queue = c.queue[1:]
-		c.mu.Unlock()
-		res, err := c.Search(job.query)
-		c.out <- StreamResult{Index: job.index, Query: job.query, Result: res, Err: err}
+// CacheStats reports the cluster result cache's hit/miss counters and
+// current entry count (all zero when caching is disabled).
+func (c *Cluster) CacheStats() (hits, misses int64, entries int) {
+	s := c.cache.Stats()
+	return s.Hits, s.Misses, s.Entries
+}
+
+// SchedulerStats is a snapshot of the serving scheduler's activity.
+type SchedulerStats struct {
+	// Submitted counts scheduled submissions; Batches the dispatched
+	// micro-batches and BatchedQueries the queries they carried
+	// (BatchedQueries/Batches is the realised mean batch size).
+	Submitted      int64
+	Batches        int64
+	BatchedQueries int64
+	// Joined counts submissions that attached to an identical in-flight
+	// query; CacheHits those answered straight from the cache.
+	Joined    int64
+	CacheHits int64
+}
+
+// SchedulerStats reports the serving scheduler's activity (zero until the
+// first SearchScheduled or HTTP request).
+func (c *Cluster) SchedulerStats() SchedulerStats {
+	c.mu.Lock()
+	s := c.serving
+	c.mu.Unlock()
+	if s == nil {
+		return SchedulerStats{}
+	}
+	st := s.Stats()
+	return SchedulerStats{
+		Submitted:      st.Submitted,
+		Batches:        st.Batches,
+		BatchedQueries: st.Batched,
+		Joined:         st.Joined,
+		CacheHits:      st.CacheHits,
 	}
 }

@@ -1,0 +1,141 @@
+// Command swserve fronts a Smith-Waterman search cluster with an HTTP
+// JSON API, turning the library into a long-running query service: the
+// SwissAlign-webserver serving shape over the N-device dispatcher, with
+// every request routed through the cluster's concurrent micro-batching
+// scheduler (requests arriving together coalesce into micro-batches,
+// identical queries share one execution, repeats hit the LRU cache).
+//
+// Usage:
+//
+//	swserve -synthetic 0.01 -listen :7734
+//	swserve -db swissprot.fasta -devices xeon,phi,phi -dist dynamic
+//
+// Endpoints:
+//
+//	POST /search   {"id": "q1", "residues": "MKWVLA...", "top_k": 10}
+//	POST /batch    {"queries": [{"id": "a", "residues": "..."}], "top_k": 5}
+//	GET  /healthz  database, roster, scheduler and cache snapshot
+//
+// Example session:
+//
+//	swserve -synthetic 0.001 &
+//	curl -s localhost:7734/search -d '{"residues":"MKWVLAARND","top_k":3}'
+//	curl -s localhost:7734/healthz
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight requests get a drain
+// window, then the cluster's scheduled paths are torn down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"heterosw"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7734", "HTTP listen address")
+		dbPath    = flag.String("db", "", "database FASTA file")
+		synthetic = flag.Float64("synthetic", 0, "use a synthetic Swiss-Prot database at this scale instead of -db")
+		devices   = flag.String("devices", "xeon,phi", "comma-separated cluster roster (e.g. xeon,phi,phi)")
+		dist      = flag.String("dist", "dynamic", "workload distribution: static, dynamic, guided")
+		shares    = flag.String("shares", "", "comma-separated static residue shares (model-balanced when empty)")
+		variant   = flag.String("variant", "intrinsic-SP", "kernel variant")
+		matrix    = flag.String("matrix", "BLOSUM62", "substitution matrix")
+		inflight  = flag.Int("inflight", 0, "max micro-batches in flight (0 = default)")
+		window    = flag.Duration("window", 0, "micro-batch coalescing window (0 = default, negative disables)")
+		maxBatch  = flag.Int("maxbatch", 0, "max queries per micro-batch (0 = default)")
+		cacheSize = flag.Int("cache", 0, "LRU result cache entries (0 = default, negative disables)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	var (
+		db  *heterosw.Database
+		err error
+	)
+	switch {
+	case *synthetic > 0:
+		db, _ = heterosw.SyntheticSwissProt(*synthetic, false)
+	case *dbPath != "":
+		seqs, rerr := heterosw.ReadFASTAFile(*dbPath)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		db, err = heterosw.NewDatabase(seqs)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("provide -db or -synthetic; see -help"))
+	}
+
+	opt := heterosw.ClusterOptions{
+		Options:     heterosw.Options{Variant: *variant, Matrix: *matrix},
+		Dist:        *dist,
+		MaxInFlight: *inflight,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		CacheSize:   *cacheSize,
+	}
+	for _, d := range strings.Split(*devices, ",") {
+		d = strings.TrimSpace(d)
+		if d != "" {
+			opt.Devices = append(opt.Devices, heterosw.DeviceKind(d))
+		}
+	}
+	if *shares != "" {
+		for _, s := range strings.Split(*shares, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if perr != nil {
+				fatal(fmt.Errorf("bad share %q: %v", s, perr))
+			}
+			opt.Shares = append(opt.Shares, v)
+		}
+	}
+	cl, err := heterosw.NewCluster(db, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           heterosw.NewHTTPHandler(cl),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("swserve: %s\n", db)
+	fmt.Printf("swserve: roster %v, dist %s; listening on %s\n", opt.Devices, *dist, *listen)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-stop:
+		fmt.Printf("swserve: %v, draining for up to %v\n", sig, *drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "swserve: shutdown: %v\n", err)
+	}
+	cl.CloseNow()
+	fmt.Println("swserve: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "swserve: %v\n", err)
+	os.Exit(1)
+}

@@ -20,6 +20,12 @@
 //     batched multi-query search and a streaming Submit/Results pipeline
 //     — see NewCluster, Cluster.Search, Cluster.SearchBatch and
 //     Cluster.Submit;
+//   - a concurrent micro-batching query scheduler behind every streaming
+//     and serving path: submissions coalesce into adaptive micro-batches,
+//     several batches run in flight, identical queries share one
+//     execution and repeats come from a cluster-wide LRU cache — see
+//     Cluster.NewStream, Cluster.SearchScheduled and the cmd/swserve
+//     HTTP front end;
 //   - deterministic performance models of the paper's two devices (dual
 //     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
 //     alongside the real wall-clock throughput of the pure-Go kernels;
@@ -50,8 +56,33 @@
 //	})
 //	results, err := cl.SearchBatch(queries) // amortises pre-processing
 //
+// # Streaming and serving
+//
+// Streams deliver results in submission order whatever order the
+// concurrent micro-batches complete in; Submit never blocks, and a
+// bounded forwarding window keeps completed-result memory finite however
+// far the producer runs ahead of the consumer. Close drains
+// gracefully; CloseNow — or cancelling the NewStream context — drops
+// queued work, aborts in-flight batches at their next query boundary and
+// closes Results, so an abandoned consumer never strands a worker:
+//
+//	st := cl.NewStream(ctx)
+//	for _, q := range queries { st.Submit(q) }
+//	st.Close()
+//	for sr := range st.Results() { ... } // sr.Index is the submission order
+//
+// SearchScheduled is the one-call serving entry point (used by the
+// cmd/swserve HTTP server): concurrent callers coalesce into micro-batches
+// and repeated queries are answered from the cluster's LRU result cache.
+// ClusterOptions.MaxInFlight, BatchWindow, MaxBatch and CacheSize tune the
+// scheduler.
+//
+// # Tools
+//
 // The cmd/swbench tool regenerates every figure of the paper's evaluation
 // and compares distribution strategies over arbitrary rosters (-devices
-// xeon,phi,phi -dist dynamic); see DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-versus-measured comparison.
+// xeon,phi,phi -dist dynamic); cmd/swserve fronts a cluster with the JSON
+// search API (/search, /batch, /healthz) and examples/loadgen load-tests
+// it; see DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison.
 package heterosw

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -209,6 +210,10 @@ type Dispatcher struct {
 	chunks     map[chunkKey]*chunkSet
 	plans      map[string]*Plan
 	autoShares map[string][]float64
+
+	totalsMu sync.Mutex
+	queries  int64
+	totals   []BackendTotals
 }
 
 // shardSet is one cached static split.
@@ -246,6 +251,10 @@ func NewDispatcher(db *seqdb.Database, backends []Backend) (*Dispatcher, error) 
 			return nil, fmt.Errorf("core: backend %d (%s): %w", i, b.Name(), err)
 		}
 	}
+	totals := make([]BackendTotals, len(backends))
+	for i, b := range backends {
+		totals[i].Name = b.Name()
+	}
 	return &Dispatcher{
 		db:         db,
 		backends:   backends,
@@ -253,7 +262,58 @@ func NewDispatcher(db *seqdb.Database, backends []Backend) (*Dispatcher, error) 
 		chunks:     make(map[chunkKey]*chunkSet),
 		plans:      make(map[string]*Plan),
 		autoShares: make(map[string][]float64),
+		totals:     totals,
 	}, nil
+}
+
+// BackendTotals is one backend's cumulative accounting across every search
+// the dispatcher has completed, whichever concurrent batch it arrived on.
+type BackendTotals struct {
+	// Name identifies the backend within the roster.
+	Name string
+	// Grants counts executed work grants: shards under the static
+	// distribution, claimed queue chunks under the dynamic ones.
+	Grants int64
+	// Residues is the total database residues the backend has processed.
+	Residues int64
+	// SimSeconds is the backend's accumulated simulated busy time.
+	SimSeconds float64
+}
+
+// Totals reports the number of completed query searches and per-backend
+// cumulative accounting, in roster order. It is safe to call while batches
+// are in flight; the snapshot is internally consistent.
+func (d *Dispatcher) Totals() (queries int64, per []BackendTotals) {
+	d.totalsMu.Lock()
+	defer d.totalsMu.Unlock()
+	return d.queries, append([]BackendTotals(nil), d.totals...)
+}
+
+// totalsDelta is one search's contribution to the cumulative accounting:
+// functionally executed work grants and residues per backend, plus the
+// per-backend simulated busy time. Deltas are committed only for searches
+// whose results reach the caller, so a failed batch that gets retried
+// query-by-query never counts its discarded partial work twice.
+type totalsDelta struct {
+	grants, residues []int64
+	simSeconds       []float64
+}
+
+// commitTotals folds completed searches into the cumulative accounting.
+func (d *Dispatcher) commitTotals(deltas []totalsDelta) {
+	if len(deltas) == 0 {
+		return
+	}
+	d.totalsMu.Lock()
+	defer d.totalsMu.Unlock()
+	for _, td := range deltas {
+		d.queries++
+		for i := range d.totals {
+			d.totals[i].Grants += td.grants[i]
+			d.totals[i].Residues += td.residues[i]
+			d.totals[i].SimSeconds += td.simSeconds[i]
+		}
+	}
 }
 
 // Backends returns the dispatcher's roster.
@@ -453,6 +513,15 @@ func (d *Dispatcher) Search(query *sequence.Sequence, opt DispatchOptions) (*Clu
 // the query-profile setup and the kernels themselves. With model-balanced
 // static shares the split is derived from the mean query length.
 func (d *Dispatcher) SearchBatch(queries []*sequence.Sequence, opt DispatchOptions) ([]*ClusterResult, error) {
+	return d.SearchBatchContext(context.Background(), queries, opt)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: the context is
+// checked at every query boundary, so an abandoned batch (a closed stream,
+// a disconnected HTTP client) stops burning backend time mid-batch instead
+// of running to completion. Kernels already launched finish their current
+// query; nothing is left running after the call returns.
+func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence.Sequence, opt DispatchOptions) ([]*ClusterResult, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -461,6 +530,7 @@ func (d *Dispatcher) SearchBatch(queries []*sequence.Sequence, opt DispatchOptio
 			return nil, fmt.Errorf("core: nil query %d", i)
 		}
 	}
+	var search func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error)
 	switch opt.Dist {
 	case DistStatic:
 		meanLen := 0
@@ -473,28 +543,31 @@ func (d *Dispatcher) SearchBatch(queries []*sequence.Sequence, opt DispatchOptio
 			return nil, err
 		}
 		set := d.shardsFor(shares)
-		out := make([]*ClusterResult, len(queries))
-		for i, q := range queries {
-			r, err := d.searchStatic(q, opt, set)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
-		}
-		return out, nil
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchStatic(q, opt, set) }
 	case DistDynamic, DistGuided:
 		set := d.chunksFor(opt)
-		out := make([]*ClusterResult, len(queries))
-		for i, q := range queries {
-			r, err := d.searchDynamic(q, opt, set)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
-		}
-		return out, nil
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchDynamic(q, opt, set) }
+	default:
+		return nil, fmt.Errorf("core: unknown distribution %v", opt.Dist)
 	}
-	return nil, fmt.Errorf("core: unknown distribution %v", opt.Dist)
+	out := make([]*ClusterResult, len(queries))
+	deltas := make([]totalsDelta, 0, len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, td, err := search(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+		deltas = append(deltas, td)
+	}
+	// Totals commit only when the whole batch succeeds: results of a
+	// failed batch are discarded by the caller (and typically retried),
+	// so counting their partial work would double-book the retry.
+	d.commitTotals(deltas)
+	return out, nil
 }
 
 // searchStatic runs every backend over its pre-split shard concurrently
@@ -502,7 +575,7 @@ func (d *Dispatcher) SearchBatch(queries []*sequence.Sequence, opt DispatchOptio
 // pair generalises to one signal per backend) and merges by shard index
 // maps. Backends with empty shards are skipped entirely, exactly as
 // Algorithm 2 degenerates to Algorithm 1 at a 0% coprocessor share.
-func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions, set *shardSet) (*ClusterResult, error) {
+func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions, set *shardSet) (*ClusterResult, totalsDelta, error) {
 	n := len(d.backends)
 	results := make([]*Result, n)
 	errs := make([]error, n)
@@ -524,11 +597,14 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 	}
 	wall := time.Since(start).Seconds()
 	if err := firstErr(errs...); err != nil {
-		return nil, err
+		return nil, totalsDelta{}, err
 	}
 
 	out := &ClusterResult{PerBackend: make([]BackendStats, n)}
 	scores := make([]int32, d.db.Len())
+	grants := make([]int64, n)
+	residues := make([]int64, n)
+	simSeconds := make([]float64, n)
 	for i, b := range d.backends {
 		st := &out.PerBackend[i]
 		st.Name = b.Name()
@@ -543,6 +619,9 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 		}
 		st.Threads = r.Threads
 		st.SimSeconds = r.SimSeconds
+		grants[i] = 1
+		residues[i] = set.dbs[i].Residues()
+		simSeconds[i] = r.SimSeconds
 		for j, s := range r.Scores {
 			scores[set.idx[i][j]] = s
 		}
@@ -555,7 +634,7 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 	out.Scores = scores
 	out.WallSeconds = wall
 	d.finishResult(out, opt)
-	return out, nil
+	return out, totalsDelta{grants: grants, residues: residues, simSeconds: simSeconds}, nil
 }
 
 // searchDynamic drains a shared chunk queue with one worker goroutine per
@@ -565,10 +644,12 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 // come from the deterministic device-level schedule replay (Plan), keeping
 // simulated results independent of host timing jitter exactly as
 // internal/sched separates Parallel from Simulate.
-func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions, set *chunkSet) (*ClusterResult, error) {
+func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions, set *chunkSet) (*ClusterResult, totalsDelta, error) {
 	n := len(d.backends)
 	scores := make([]int32, d.db.Len())
 	statsPer := make([]Stats, n)
+	claimed := make([]int64, n)
+	claimedRes := make([]int64, n)
 	errs := make([]error, n)
 
 	start := time.Now()
@@ -599,6 +680,8 @@ func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions
 					errs[i] = err
 					return
 				}
+				claimed[i]++
+				claimedRes[i] += set.dbs[c].Residues()
 				for j, s := range r.Scores {
 					scores[set.idx[c][j]] = s
 				}
@@ -611,7 +694,7 @@ func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions
 	}
 	wall := time.Since(start).Seconds()
 	if err := firstErr(errs...); err != nil {
-		return nil, err
+		return nil, totalsDelta{}, err
 	}
 
 	out := &ClusterResult{PerBackend: make([]BackendStats, n)}
@@ -636,7 +719,7 @@ func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions
 	}
 	out.SimSeconds = plan.Makespan
 	d.finishResult(out, opt)
-	return out, nil
+	return out, totalsDelta{grants: claimed, residues: claimedRes, simSeconds: plan.Seconds}, nil
 }
 
 // finishResult computes the derived fields shared by both distributions:

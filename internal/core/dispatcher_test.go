@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -222,7 +223,7 @@ func TestDispatcherDynamicBeatsBestStatic(t *testing.T) {
 			bestShares = shares
 		}
 	}
-	try(nil) // model-balanced auto shares
+	try(nil)                      // model-balanced auto shares
 	for ai := 0; ai <= 12; ai++ { // xeon share 0..0.60 in 0.05 steps
 		for bi := 0; ai+bi <= 20; bi++ {
 			a, b := float64(ai)/20, float64(bi)/20
@@ -332,5 +333,86 @@ func TestOptimalSharesProperties(t *testing.T) {
 		if math.Abs(s-1.0/3) > 1e-9 {
 			t.Fatalf("empty-database shares %v, want equal", eq)
 		}
+	}
+}
+
+// Totals must accumulate functional per-backend work across concurrent
+// batches, and SearchBatchContext must stop at a query boundary once its
+// context is cancelled.
+func TestDispatcherTotalsAcrossConcurrentBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	db := randDB(rng, 120, 70, true)
+	queries := []*sequence.Sequence{
+		randProtein(rng, 50), randProtein(rng, 60), randProtein(rng, 70),
+	}
+	for _, dist := range []Distribution{DistStatic, DistDynamic} {
+		disp, err := NewDispatcher(db, xeonPhiPhi())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DispatchOptions{Search: defaultSearchOptions(), Dist: dist}
+		const batches = 4
+		errc := make(chan error, batches)
+		for g := 0; g < batches; g++ {
+			go func() {
+				_, err := disp.SearchBatch(queries, opt)
+				errc <- err
+			}()
+		}
+		for g := 0; g < batches; g++ {
+			if err := <-errc; err != nil {
+				t.Fatalf("%v: %v", dist, err)
+			}
+		}
+		nq, per := disp.Totals()
+		if want := int64(batches * len(queries)); nq != want {
+			t.Fatalf("%v: %d queries recorded, want %d", dist, nq, want)
+		}
+		if len(per) != 3 {
+			t.Fatalf("%v: %d backend totals", dist, len(per))
+		}
+		var residues, grants int64
+		for i, bt := range per {
+			if bt.Name == "" {
+				t.Fatalf("%v: backend %d unnamed", dist, i)
+			}
+			residues += bt.Residues
+			grants += bt.Grants
+			if bt.Grants > 0 && bt.SimSeconds <= 0 {
+				t.Fatalf("%v: backend %s has %d grants but no sim time", dist, bt.Name, bt.Grants)
+			}
+		}
+		if want := db.Residues() * int64(batches*len(queries)); residues != want {
+			t.Fatalf("%v: %d residues recorded, want %d", dist, residues, want)
+		}
+		if grants < int64(batches*len(queries)) {
+			t.Fatalf("%v: only %d grants recorded", dist, grants)
+		}
+	}
+}
+
+func TestSearchBatchContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	db := randDB(rng, 60, 60, true)
+	disp, err := NewDispatcher(db, xeonPhiPhi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*sequence.Sequence, 8)
+	for i := range queries {
+		queries[i] = randProtein(rng, 40)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: not even the first query may run
+	if _, err := disp.SearchBatchContext(ctx, queries, DispatchOptions{Search: defaultSearchOptions()}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if nq, _ := disp.Totals(); nq != 0 {
+		t.Fatalf("%d queries ran under a cancelled context", nq)
+	}
+	// A live context still completes the batch.
+	res, err := disp.SearchBatchContext(context.Background(), queries, DispatchOptions{Search: defaultSearchOptions()})
+	if err != nil || len(res) != len(queries) {
+		t.Fatalf("live context: %v, %d results", err, len(res))
 	}
 }

@@ -1,0 +1,368 @@
+package qsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRun returns a run function that maps each query string to "R:"+q and
+// appends every batch it executes to the shared log.
+func echoRun(mu *sync.Mutex, batches *[][]string) func(context.Context, []string) ([]string, error) {
+	return func(ctx context.Context, qs []string) ([]string, error) {
+		mu.Lock()
+		*batches = append(*batches, append([]string(nil), qs...))
+		mu.Unlock()
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			out[i] = "R:" + q
+		}
+		return out, nil
+	}
+}
+
+func waitTicket(t *testing.T, tk *Ticket[string]) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := tk.Wait(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("ticket did not resolve in time")
+	}
+	return v, err
+}
+
+func TestSubmitResolvesEachQuery(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]string
+	s := New(echoRun(&mu, &batches), nil, nil, Options{})
+	defer s.CloseNow()
+	var tickets []*Ticket[string]
+	for i := 0; i < 10; i++ {
+		tk, err := s.Submit(fmt.Sprintf("q%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		v, err := waitTicket(t, tk)
+		if err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("R:q%d", i); v != want {
+			t.Fatalf("ticket %d resolved to %q, want %q", i, v, want)
+		}
+	}
+}
+
+// A backlog accumulated while a batch is in flight must coalesce into
+// micro-batches instead of running one query at a time.
+func TestBacklogCoalesces(t *testing.T) {
+	gate := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	var batches [][]string
+	run := func(ctx context.Context, qs []string) ([]string, error) {
+		held := false
+		once.Do(func() { held = true })
+		if held {
+			close(first)
+			<-gate // hold the only in-flight slot so the backlog builds
+		}
+		mu.Lock()
+		batches = append(batches, append([]string(nil), qs...))
+		mu.Unlock()
+		out := make([]string, len(qs))
+		copy(out, qs)
+		return out, nil
+	}
+	s := New(run, nil, nil, Options{MaxBatch: 4, MaxInFlight: 1, Window: 5 * time.Millisecond})
+	defer s.CloseNow()
+
+	tk0, err := s.Submit("q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first // first batch is in flight, holding the slot
+	var rest []*Ticket[string]
+	for i := 1; i <= 8; i++ {
+		tk, err := s.Submit(fmt.Sprintf("q%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest = append(rest, tk)
+	}
+	close(gate)
+	waitTicket(t, tk0)
+	for _, tk := range rest {
+		waitTicket(t, tk)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, b := range batches {
+		if len(b) > 4 {
+			t.Fatalf("batch of %d exceeds MaxBatch 4: %v", len(b), b)
+		}
+		total += len(b)
+	}
+	if total != 9 {
+		t.Fatalf("ran %d queries, want 9", total)
+	}
+	// 8 backlogged queries at MaxBatch 4 need only 2 batches; allow 3 for
+	// scheduling jitter, but 8 singleton batches means coalescing failed.
+	if len(batches) > 4 {
+		t.Fatalf("backlog ran as %d batches, want coalesced (<= 4): %v", len(batches), batches)
+	}
+	st := s.Stats()
+	if st.Submitted != 9 || st.Batched != 9 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInFlightJoinAndCache(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var calls int64
+	var mu sync.Mutex
+	run := func(ctx context.Context, qs []string) ([]string, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			close(started)
+			<-gate
+		}
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			out[i] = "R:" + q
+		}
+		return out, nil
+	}
+	key := func(q string) (string, bool) { return q, true }
+	cache := NewCache[string](8)
+	s := New(run, key, cache, Options{MaxInFlight: 1})
+	defer s.CloseNow()
+
+	a, err := s.Submit("same")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	b, err := s.Submit("same") // joins the in-flight ticket
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical in-flight query did not share its ticket")
+	}
+	close(gate)
+	if v, err := waitTicket(t, a); err != nil || v != "R:same" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	// Now cached: a third submission resolves synchronously.
+	c, err := s.Submit("same")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("cached submission did not resolve synchronously")
+	}
+	if v, _ := waitTicket(t, c); v != "R:same" {
+		t.Fatalf("cached value %q", v)
+	}
+	if !c.Cached() {
+		t.Fatal("cached ticket not marked Cached")
+	}
+	st := s.Stats()
+	if st.Joined != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if cs := cache.Stats(); cs.Hits != 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats %+v", cs)
+	}
+}
+
+// A batch-wide failure must be retried per query so one poisoned query
+// cannot fail its neighbours.
+func TestFailureIsolation(t *testing.T) {
+	poison := errors.New("poisoned query")
+	run := func(ctx context.Context, qs []string) ([]string, error) {
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			if strings.Contains(q, "bad") {
+				return nil, poison
+			}
+			out[i] = "R:" + q
+		}
+		return out, nil
+	}
+	// Window large enough that all three coalesce into one batch behind a
+	// blocked slot is unnecessary: submit them before the collector runs.
+	s := New(run, nil, nil, Options{MaxBatch: 8, MaxInFlight: 1, Window: -1})
+	defer s.CloseNow()
+	tks := make([]*Ticket[string], 0, 3)
+	for _, q := range []string{"ok1", "bad", "ok2"} {
+		tk, err := s.Submit(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	if v, err := waitTicket(t, tks[0]); err != nil || v != "R:ok1" {
+		t.Fatalf("ok1: %q, %v", v, err)
+	}
+	if _, err := waitTicket(t, tks[1]); !errors.Is(err, poison) {
+		t.Fatalf("bad: err = %v, want poison", err)
+	}
+	if v, err := waitTicket(t, tks[2]); err != nil || v != "R:ok2" {
+		t.Fatalf("ok2: %q, %v", v, err)
+	}
+}
+
+func TestCloseStopsIntakeButDrains(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]string
+	s := New(echoRun(&mu, &batches), nil, nil, Options{})
+	tk, err := s.Submit("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit("late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+	if v, err := waitTicket(t, tk); err != nil || v != "R:q" {
+		t.Fatalf("queued query dropped by Close: %q, %v", v, err)
+	}
+}
+
+func TestCloseNowCancelsQueuedAndInFlight(t *testing.T) {
+	started := make(chan struct{})
+	run := func(ctx context.Context, qs []string) ([]string, error) {
+		close(started)
+		<-ctx.Done() // a long search aborted by cancellation
+		return nil, ctx.Err()
+	}
+	s := New(run, nil, nil, Options{MaxInFlight: 1, Window: -1})
+	inflight, err := s.Submit("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit("queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CloseNow()
+	if _, err := waitTicket(t, inflight); !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-flight err = %v", err)
+	}
+	if _, err := waitTicket(t, queued); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued err = %v", err)
+	}
+}
+
+// The scheduler must not keep goroutines alive while idle: the collector
+// exits once the queue drains.
+func TestNoGoroutinesWhileIdle(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var mu sync.Mutex
+	var batches [][]string
+	s := New(echoRun(&mu, &batches), nil, nil, Options{})
+	for round := 0; round < 3; round++ {
+		var tks []*Ticket[string]
+		for i := 0; i < 20; i++ {
+			tk, err := s.Submit(fmt.Sprintf("r%dq%d", round, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tks = append(tks, tk)
+		}
+		for _, tk := range tks {
+			waitTicket(t, tk)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+1 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("idle scheduler holds goroutines: %d, baseline %d", runtime.NumGoroutine(), base)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if NewCache[int](0) != nil {
+		t.Fatal("size 0 cache should be nil (disabled)")
+	}
+	var nilCache *Cache[int]
+	if nilCache.Len() != 0 || nilCache.Stats().Entries != 0 {
+		t.Fatal("nil cache accessors not safe")
+	}
+}
+
+// Hammer the scheduler from many goroutines under the race detector.
+func TestConcurrentSubmitHammer(t *testing.T) {
+	run := func(ctx context.Context, qs []string) ([]string, error) {
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			out[i] = "R:" + q
+		}
+		return out, nil
+	}
+	key := func(q string) (string, bool) { return q, true }
+	s := New(run, key, NewCache[string](32), Options{MaxBatch: 8, MaxInFlight: 4})
+	defer s.CloseNow()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := fmt.Sprintf("q%d", (g*13+i)%20) // overlapping keys
+				v, err := s.Do(context.Background(), q)
+				if err != nil {
+					t.Errorf("Do(%q): %v", q, err)
+					return
+				}
+				if v != "R:"+q {
+					t.Errorf("Do(%q) = %q", q, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,122 @@
+package seqdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"heterosw/internal/sequence"
+)
+
+// buildSplitCase derives a database and share vector from fuzz input: n
+// sequences with lengths from the byte stream, and shares (possibly zero,
+// tiny, or wildly unbalanced) for a roster that may exceed the database
+// size.
+func buildSplitCase(nSeqs, nShards int, raw []byte) ([]*sequence.Sequence, []float64) {
+	if nSeqs < 0 {
+		nSeqs = -nSeqs
+	}
+	nSeqs %= 64
+	if nShards < 0 {
+		nShards = -nShards
+	}
+	nShards = nShards%12 + 1 // rosters larger than the database happen
+	rng := rand.New(rand.NewSource(int64(len(raw))))
+	seqs := make([]*sequence.Sequence, nSeqs)
+	for i := range seqs {
+		l := 1
+		if len(raw) > 0 {
+			l = int(raw[i%len(raw)])%97 + 1
+		}
+		res := make([]byte, l)
+		for j := range res {
+			res[j] = "ARNDCQEGHILKMFPSTWYV"[rng.Intn(20)]
+		}
+		seqs[i] = sequence.New(fmt.Sprintf("S%d", i), res)
+	}
+	shares := make([]float64, nShards)
+	for i := range shares {
+		switch {
+		case len(raw) == 0:
+			shares[i] = 1
+		default:
+			b := raw[(i*7)%len(raw)]
+			// Mix zero shares, shares that round to zero sequences and
+			// ordinary ones.
+			shares[i] = float64(b%32) / 31 * float64(b%5)
+		}
+	}
+	return seqs, shares
+}
+
+// FuzzSplitN asserts the shard invariants for arbitrary share vectors:
+// every parent sequence lands in exactly one shard, index maps point at
+// the right sequences, residues are conserved, and the shape-level
+// SplitLengthsN deal never diverges from the materialised SplitN.
+func FuzzSplitN(f *testing.F) {
+	f.Add(5, 3, []byte{10, 20, 30, 40, 50})
+	f.Add(0, 4, []byte{})                        // empty database
+	f.Add(2, 9, []byte{200, 1})                  // roster larger than the database
+	f.Add(40, 3, []byte{0, 0, 7})                // zero shares in the vector
+	f.Add(33, 5, []byte{1, 255, 1, 255, 90, 13}) // extreme imbalance
+	f.Add(17, 1, []byte{42})                     // single shard
+	f.Fuzz(func(t *testing.T, nSeqs, nShards int, raw []byte) {
+		seqs, shares := buildSplitCase(nSeqs, nShards, raw)
+		for _, sorted := range []bool{true, false} {
+			db := New(seqs, sorted)
+			parts, idx := db.SplitN(shares)
+			if len(parts) != len(shares) || len(idx) != len(shares) {
+				t.Fatalf("got %d parts / %d index maps for %d shares", len(parts), len(idx), len(shares))
+			}
+			seen := make(map[int]int)
+			var residues int64
+			for s, part := range parts {
+				if part.Len() != len(idx[s]) {
+					t.Fatalf("shard %d: %d sequences but %d index entries", s, part.Len(), len(idx[s]))
+				}
+				if part.Sorted() != sorted {
+					t.Fatalf("shard %d lost the parent sort mode", s)
+				}
+				for j := 0; j < part.Len(); j++ {
+					pi := idx[s][j]
+					if pi < 0 || pi >= db.Len() {
+						t.Fatalf("shard %d[%d]: parent index %d outside [0,%d)", s, j, pi, db.Len())
+					}
+					seen[pi]++
+					if part.Seq(j) != db.Seq(pi) {
+						t.Fatalf("shard %d[%d]: sequence is not parent %d", s, j, pi)
+					}
+				}
+				residues += part.Residues()
+			}
+			for pi := 0; pi < db.Len(); pi++ {
+				if seen[pi] != 1 {
+					t.Fatalf("parent sequence %d landed in %d shards, want exactly 1", pi, seen[pi])
+				}
+			}
+			if residues != db.Residues() {
+				t.Fatalf("shards hold %d residues, parent has %d", residues, db.Residues())
+			}
+			// For a length-sorted parent, the shape-level deal
+			// (SplitLengthsN, which sorts its input) must match the
+			// materialised split shard for shard — the full-scale
+			// planner depends on this equivalence.
+			if sorted {
+				lenParts := SplitLengthsN(db.OrderLengths(), shares)
+				if len(lenParts) != len(parts) {
+					t.Fatalf("SplitLengthsN made %d parts, SplitN %d", len(lenParts), len(parts))
+				}
+				for s := range parts {
+					if len(lenParts[s]) != parts[s].Len() {
+						t.Fatalf("shard %d: lengths deal %d sequences, materialised %d", s, len(lenParts[s]), parts[s].Len())
+					}
+					for j, l := range lenParts[s] {
+						if got := db.Seq(idx[s][j]).Len(); got != l {
+							t.Fatalf("shard %d[%d]: lengths deal %d, materialised %d", s, j, l, got)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -164,8 +164,14 @@ type HeteroOptions struct {
 	Options
 	// PhiShare is the fraction of database residues offloaded to the
 	// coprocessor. The paper's best configuration is ~0.55; that is the
-	// default when zero (set a negative value for a true zero share).
+	// default when PhiShare is zero, unless NoShareDefault is set.
 	PhiShare float64
+	// NoShareDefault disables the 0.55 defaulting above, so a literal
+	// PhiShare of 0 means "everything on the host" — mirroring how
+	// NoGapDefaults makes literal zero gap penalties expressible. It
+	// replaces the old negative-means-zero sentinel, which remains
+	// honoured for existing callers.
+	NoShareDefault bool
 	// PhiThreads is the coprocessor's simulated thread count (240 when
 	// zero).
 	PhiThreads int
@@ -196,10 +202,14 @@ func (d *Database) SearchHetero(query Sequence, opt HeteroOptions) (*HeteroResul
 	}
 	share := opt.PhiShare
 	switch {
+	case opt.NoShareDefault:
+		if share < 0 {
+			return nil, fmt.Errorf("heterosw: PhiShare %v < 0 with NoShareDefault", opt.PhiShare)
+		}
 	case share == 0:
 		share = 0.55 // the paper's best configuration
 	case share < 0:
-		share = 0
+		share = 0 // legacy sentinel for a true zero share
 	}
 	if share > 1 {
 		return nil, fmt.Errorf("heterosw: PhiShare %v > 1", opt.PhiShare)

@@ -1,0 +1,335 @@
+package heterosw
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"heterosw/internal/qsched"
+)
+
+// The HTTP front end exposes a Cluster as a JSON search service — the
+// serving shape of the SwissAlign webserver precedent, backed by the
+// concurrent micro-batching scheduler so that independent HTTP requests
+// coalesce into micro-batches exactly like stream submissions.
+//
+//	POST /search   {"id": "q1", "residues": "MKWVLA...", "top_k": 10}
+//	POST /batch    {"queries": [{...}, ...], "top_k": 10}
+//	GET  /healthz
+//
+// /search and /batch answer with SearchJSON (respectively a BatchJSON
+// wrapping one SearchJSON per query, in request order); /healthz serves a
+// HealthJSON snapshot of database, roster, scheduler and cache state.
+// Disconnected clients abandon only their wait: the computation finishes
+// and its result stays in the cluster cache for the next asker.
+
+// maxRequestBytes bounds an HTTP request body: the longest real protein is
+// ~36k residues, so even a generous batch fits comfortably.
+const maxRequestBytes = 16 << 20
+
+// maxQueryResidues bounds one query: roughly 2x titin, the longest known
+// protein. Without a cap a single request could submit a multi-megabyte
+// "query" whose O(query x database) computation cannot be cancelled once
+// batched — a trivial denial of service.
+const maxQueryResidues = 65536
+
+// defaultResponseHits caps the hits serialised per query when a request
+// does not set top_k; the full score list of a half-million-sequence
+// database has no place in a JSON response.
+const defaultResponseHits = 10
+
+// QueryJSON is one query in a /search or /batch request.
+type QueryJSON struct {
+	// ID labels the query in the response (optional).
+	ID string `json:"id"`
+	// Residues is the ASCII protein sequence; letters outside the
+	// 24-letter alphabet encode as X.
+	Residues string `json:"residues"`
+}
+
+// HitJSON is one database match in a response.
+type HitJSON struct {
+	// Index is the subject's position in the database; ID its identifier;
+	// Score the optimal Smith-Waterman score.
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Score int    `json:"score"`
+}
+
+// SearchJSON is the /search response and the per-query element of /batch.
+type SearchJSON struct {
+	ID string `json:"id,omitempty"`
+	// Hits is sorted by descending score, truncated to the request's
+	// top_k (10 when unset).
+	Hits []HitJSON `json:"hits"`
+	// Cells is the dynamic-programming cell count; SimSeconds and
+	// SimGCUPS the device-model timing; WallSeconds the real host time of
+	// the search that produced this result (shared by every query of its
+	// micro-batch era and 0 for pure cache hits' wait).
+	Cells       int64   `json:"cells"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	SimGCUPS    float64 `json:"sim_gcups"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// BatchJSON is the /batch response.
+type BatchJSON struct {
+	Results []SearchJSON `json:"results"`
+}
+
+// BackendJSON is one roster entry of /healthz.
+type BackendJSON struct {
+	Name       string  `json:"name"`
+	Device     string  `json:"device"`
+	Grants     int64   `json:"grants"`
+	Residues   int64   `json:"residues"`
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// HealthJSON is the /healthz response.
+type HealthJSON struct {
+	Status        string        `json:"status"`
+	Sequences     int           `json:"sequences"`
+	Residues      int64         `json:"residues"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Queries       int64         `json:"queries"`
+	Backends      []BackendJSON `json:"backends"`
+	Scheduler     struct {
+		Submitted      int64 `json:"submitted"`
+		Batches        int64 `json:"batches"`
+		BatchedQueries int64 `json:"batched_queries"`
+		Joined         int64 `json:"joined"`
+		CacheHits      int64 `json:"cache_hits"`
+	} `json:"scheduler"`
+	Cache struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+	} `json:"cache"`
+}
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type server struct {
+	c     *Cluster
+	start time.Time
+}
+
+// NewHTTPHandler wraps a cluster in the JSON search API served by
+// cmd/swserve. Every /search and /batch request is routed through the
+// cluster's serving scheduler (SearchScheduled), so concurrent requests
+// coalesce into micro-batches, identical in-flight queries share one
+// execution and repeated queries hit the LRU cache.
+func NewHTTPHandler(c *Cluster) http.Handler {
+	s := &server{c: c, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The client may be gone; nothing useful to do with the error.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// decodeBody parses a JSON request body into v with a size cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// toQuery validates one request query.
+func toQuery(q QueryJSON, pos string) (Sequence, error) {
+	if q.Residues == "" {
+		return Sequence{}, fmt.Errorf("%s: empty residues", pos)
+	}
+	if len(q.Residues) > maxQueryResidues {
+		return Sequence{}, fmt.Errorf("%s: %d residues exceeds the %d limit", pos, len(q.Residues), maxQueryResidues)
+	}
+	id := q.ID
+	if id == "" {
+		id = "query"
+	}
+	return NewSequence(id, q.Residues), nil
+}
+
+// toSearchJSON trims a result for transport.
+func toSearchJSON(id string, res *ClusterResult, topK int) SearchJSON {
+	if topK <= 0 {
+		topK = defaultResponseHits
+	}
+	n := topK
+	if n > len(res.Hits) {
+		n = len(res.Hits)
+	}
+	out := SearchJSON{
+		ID:          id,
+		Hits:        make([]HitJSON, n),
+		Cells:       res.Cells,
+		SimSeconds:  res.SimSeconds,
+		SimGCUPS:    res.SimGCUPS,
+		WallSeconds: res.WallSeconds,
+	}
+	for i := 0; i < n; i++ {
+		h := res.Hits[i]
+		out.Hits[i] = HitJSON{Index: h.Index, ID: h.ID, Score: h.Score}
+	}
+	return out
+}
+
+// searchRequest is the /search body: one query plus response shaping.
+type searchRequest struct {
+	QueryJSON
+	TopK int `json:"top_k"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req searchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request: %w", err))
+		return
+	}
+	q, err := toQuery(req.QueryJSON, "query")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.c.SearchScheduled(r.Context(), q)
+	if err != nil {
+		writeError(w, searchStatus(r, err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSearchJSON(req.ID, res, req.TopK))
+}
+
+// batchRequest is the /batch body: queries plus response shaping.
+type batchRequest struct {
+	Queries []QueryJSON `json:"queries"`
+	TopK    int         `json:"top_k"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	queries := make([]Sequence, len(req.Queries))
+	for i, qj := range req.Queries {
+		q, err := toQuery(qj, fmt.Sprintf("query %d", i))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		queries[i] = q
+	}
+	// Submit every query to the serving scheduler up front — tickets are
+	// futures, so this spawns no per-query goroutines however large the
+	// batch — then gather in request order. The submissions coalesce into
+	// micro-batches alongside concurrent requests.
+	sched, err := s.c.servingScheduler()
+	if err != nil {
+		writeError(w, searchStatus(r, err), err)
+		return
+	}
+	tickets := make([]*qsched.Ticket[*ClusterResult], len(queries))
+	for i, q := range queries {
+		t, err := sched.Submit(q)
+		if err != nil {
+			if errors.Is(err, qsched.ErrClosed) {
+				err = ErrClusterClosed
+			}
+			writeError(w, searchStatus(r, err), fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		tickets[i] = t
+	}
+	out := BatchJSON{Results: make([]SearchJSON, len(queries))}
+	for i, t := range tickets {
+		res, err := t.Wait(r.Context())
+		if err != nil {
+			writeError(w, searchStatus(r, err), fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		out.Results[i] = toSearchJSON(req.Queries[i].ID, res, req.TopK)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// searchStatus maps a search failure to an HTTP status: a disconnected
+// or timed-out client gets a request-timeout code (unsendable when truly
+// gone, but meaningful under a deadline), a draining cluster the
+// retryable 503, anything else a server-side failure. Both /search and
+// /batch route every failure through here so the two endpoints agree.
+func searchStatus(r *http.Request, err error) int {
+	if r.Context().Err() != nil {
+		return http.StatusRequestTimeout
+	}
+	if errors.Is(err, ErrClusterClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	var h HealthJSON
+	h.Status = "ok"
+	h.Sequences = s.c.db.Len()
+	h.Residues = s.c.db.Residues()
+	h.UptimeSeconds = time.Since(s.start).Seconds()
+	queries, per := s.c.Totals()
+	h.Queries = queries
+	h.Backends = make([]BackendJSON, len(per))
+	for i, bt := range per {
+		h.Backends[i] = BackendJSON{
+			Name:       bt.Name,
+			Device:     string(bt.Device),
+			Grants:     bt.Grants,
+			Residues:   bt.Residues,
+			SimSeconds: bt.SimSeconds,
+		}
+	}
+	st := s.c.SchedulerStats()
+	h.Scheduler.Submitted = st.Submitted
+	h.Scheduler.Batches = st.Batches
+	h.Scheduler.BatchedQueries = st.BatchedQueries
+	h.Scheduler.Joined = st.Joined
+	h.Scheduler.CacheHits = st.CacheHits
+	hits, misses, entries := s.c.CacheStats()
+	h.Cache.Hits = hits
+	h.Cache.Misses = misses
+	h.Cache.Entries = entries
+	writeJSON(w, http.StatusOK, h)
+}

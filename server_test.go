@@ -1,0 +1,244 @@
+package heterosw
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Cluster, *Database) {
+	t.Helper()
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{Dist: "dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(cl))
+	t.Cleanup(func() { ts.Close(); cl.CloseNow() })
+	return ts, cl, db
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPSearch(t *testing.T) {
+	ts, cl, _ := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{
+		"id": "q1", "residues": "MKWVLA", "top_k": 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SearchJSON
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if sr.ID != "q1" || len(sr.Hits) != 2 {
+		t.Fatalf("response %+v", sr)
+	}
+	// The HTTP path must agree with the direct search.
+	direct, err := cl.Search(NewSequence("q1", "MKWVLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Hits[0].ID != direct.Hits[0].ID || sr.Hits[0].Score != direct.Hits[0].Score {
+		t.Fatalf("HTTP top hit %+v != direct %+v", sr.Hits[0], direct.Hits[0])
+	}
+}
+
+func TestHTTPBatchOrderAndHealthz(t *testing.T) {
+	ts, _, db := testServer(t)
+	queries := []map[string]any{
+		{"id": "a", "residues": "MKWVLA"},
+		{"id": "b", "residues": "CCQEGH"},
+		{"id": "a2", "residues": "MKWVLA"}, // repeat: joins or hits the cache
+	}
+	resp, body := postJSON(t, ts.URL+"/batch", map[string]any{"queries": queries, "top_k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchJSON
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	for i, want := range []string{"a", "b", "a2"} {
+		if br.Results[i].ID != want {
+			t.Fatalf("result %d is %q, want %q (order lost)", i, br.Results[i].ID, want)
+		}
+	}
+	if br.Results[0].Hits[0].ID != br.Results[2].Hits[0].ID {
+		t.Fatal("repeated query diverged across the batch")
+	}
+
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var h HealthJSON
+	if err := json.NewDecoder(hres.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Sequences != db.Len() || h.Residues != db.Residues() {
+		t.Fatalf("healthz %+v", h)
+	}
+	if h.Queries < 2 {
+		t.Fatalf("healthz reports %d queries, want >= 2", h.Queries)
+	}
+	if h.Scheduler.Submitted < 3 {
+		t.Fatalf("healthz scheduler %+v", h.Scheduler)
+	}
+	if len(h.Backends) != 2 || h.Backends[0].Name == "" {
+		t.Fatalf("healthz backends %+v", h.Backends)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _, _ := testServer(t)
+	cases := []struct {
+		path   string
+		body   string
+		status int
+	}{
+		{"/search", `{"residues":""}`, http.StatusBadRequest},
+		{"/search", `{bad json`, http.StatusBadRequest},
+		{"/search", `{"residues":"MKV","unknown_field":1}`, http.StatusBadRequest},
+		{"/batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"/batch", `{"queries":[{"residues":""}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("POST %s %q: status %d, want %d", tc.path, tc.body, resp.StatusCode, tc.status)
+		}
+	}
+	// Method checks.
+	if resp, err := http.Get(ts.URL + "/search"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /search: status %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(ts.URL+"/healthz", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /healthz: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// Concurrent HTTP clients must coalesce through the serving scheduler and
+// all receive correct answers — the serving-path analogue of the stream
+// ordering test. Run under -race in CI.
+func TestHTTPConcurrentClients(t *testing.T) {
+	ts, cl, _ := testServer(t)
+	want, err := cl.Search(NewSequence("q", "MKWVLA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/search", "application/json",
+				bytes.NewReader([]byte(fmt.Sprintf(`{"id":"c%d","residues":"MKWVLA","top_k":1}`, i))))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var sr SearchJSON
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				errs <- err
+				return
+			}
+			if len(sr.Hits) != 1 || sr.Hits[0].ID != want.Hits[0].ID || sr.Hits[0].Score != want.Hits[0].Score {
+				errs <- fmt.Errorf("client %d got %+v", i, sr.Hits)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if hits, _, _ := cl.CacheStats(); hits == 0 {
+		st := cl.SchedulerStats()
+		if st.Joined == 0 {
+			t.Fatalf("identical concurrent requests neither joined nor hit the cache: %+v", st)
+		}
+	}
+}
+
+// A draining cluster answers both endpoints with the retryable 503, not a
+// hard 500.
+func TestHTTPClosedCluster(t *testing.T) {
+	ts, cl, _ := testServer(t)
+	cl.CloseNow()
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{"residues": "MKWVLA"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/search on closed cluster: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/batch", map[string]any{
+		"queries": []map[string]any{{"residues": "MKWVLA"}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/batch on closed cluster: status %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+// A client that disconnects mid-request must not break the server or leak
+// its wait; the computation completes into the cache.
+func TestHTTPClientDisconnect(t *testing.T) {
+	ts, cl, _ := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search",
+		bytes.NewReader([]byte(`{"residues":"MKWVLAARND"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	// The server keeps serving.
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{"residues": "MKWVLAARND"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after disconnect: %s", resp.StatusCode, body)
+	}
+	_ = cl
+}

@@ -1,0 +1,317 @@
+package heterosw
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"heterosw/internal/qsched"
+)
+
+// StreamResult is one delivery of a streaming session.
+type StreamResult struct {
+	// Index is the query's submission order, starting at 0; results are
+	// delivered in submission order.
+	Index int
+	// Query is the submitted query.
+	Query Sequence
+	// Result is the search outcome; nil when Err is set. Results may be
+	// shared with other submissions of the same residues (the scheduler
+	// dedups and caches); treat them as read-only.
+	Result *ClusterResult
+	// Err reports a failed search (the stream continues past failures).
+	Err error
+}
+
+// streamBuffer is the Results channel depth: completed results waiting for
+// a slow consumer are bounded by this many deliveries plus the reorder
+// window of in-flight batches.
+const streamBuffer = 64
+
+// streamSub is one submission awaiting ordered delivery.
+type streamSub struct {
+	query  Sequence
+	ticket *qsched.Ticket[*ClusterResult]
+}
+
+// Stream is one streaming session over a Cluster, replacing the PR-1
+// single-worker pipeline with the concurrent micro-batching scheduler:
+// submissions coalesce into adaptive micro-batches, up to MaxInFlight
+// batches run concurrently, and a reorder buffer delivers results in
+// submission order on Results.
+//
+// Lifecycle: Close ends intake and lets queued work drain; CloseNow (or
+// cancelling the context passed to NewStream) additionally drops queued
+// work and aborts in-flight batches at their next query boundary, so an
+// abandoned consumer never strands a worker goroutine. Results is closed
+// in every case.
+type Stream struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sched  *qsched.Scheduler[Sequence, *ClusterResult]
+	out    chan StreamResult
+	stop   func() bool // releases the context.AfterFunc registration
+
+	// window bounds forwarded-but-undelivered submissions: queries past
+	// it wait in `waiting` (holding only a Sequence reference) until
+	// delivery frees a slot, so completed-result memory stays bounded
+	// however far the producer runs ahead of the Results consumer.
+	window int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	waiting    []Sequence  // submitted, not yet handed to the scheduler
+	subs       []streamSub // in the scheduler, awaiting ordered delivery
+	closed     bool        // no further Submits (Close, CloseNow or ctx cancel)
+	aborted    bool        // CloseNow / ctx cancel: drop instead of drain
+	delivering bool
+	outClosed  bool
+}
+
+// NewStream opens a streaming session over the cluster. The session
+// inherits the cluster's scheduling knobs and shares its result cache;
+// cancelling ctx is equivalent to CloseNow. A nil ctx means
+// context.Background. Multiple streams may run concurrently over one
+// cluster.
+func (c *Cluster) NewStream(ctx context.Context) *Stream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	maxBatch := c.schedOpt.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = qsched.DefaultMaxBatch
+	}
+	maxInFlight := c.schedOpt.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = qsched.DefaultMaxInFlight
+	}
+	st := &Stream{
+		ctx:    sctx,
+		cancel: cancel,
+		sched:  c.newScheduler(),
+		out:    make(chan StreamResult, streamBuffer),
+		window: streamBuffer + maxBatch*maxInFlight,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.stop = context.AfterFunc(sctx, st.abort)
+	return st
+}
+
+// forwardLocked hands waiting queries to the scheduler while delivery
+// slots are free. Callers hold st.mu.
+func (st *Stream) forwardLocked() {
+	for len(st.waiting) > 0 && len(st.subs) < st.window && !st.aborted {
+		q := st.waiting[0]
+		st.waiting[0] = Sequence{} // release for GC
+		st.waiting = st.waiting[1:]
+		t, err := st.sched.Submit(q)
+		if err != nil {
+			// The scheduler is already torn down (an abort race); the
+			// stream is going away with it.
+			return
+		}
+		st.subs = append(st.subs, streamSub{query: q, ticket: t})
+	}
+}
+
+// Submit enqueues a query on the stream and returns immediately; the
+// matching StreamResult arrives on Results in submission order. Submit
+// never blocks (the intake queue is unbounded in queries, which cost only
+// a reference each), so the submit-everything-then-drain pattern is safe
+// for any backlog size; the scheduler is fed at most the stream's
+// forwarding window (streamBuffer plus one scheduler pipeline,
+// MaxBatch x MaxInFlight) ahead of the Results consumer, which bounds
+// completed-result memory however large the backlog. Submit fails after
+// Close.
+func (st *Stream) Submit(query Sequence) error {
+	if query.impl == nil {
+		return fmt.Errorf("heterosw: zero-value query")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("heterosw: cluster stream closed")
+	}
+	st.waiting = append(st.waiting, query)
+	st.forwardLocked()
+	if !st.delivering {
+		st.delivering = true
+		go st.deliver()
+	}
+	st.cond.Signal()
+	return nil
+}
+
+// Results returns the stream delivery channel. It is closed after Close
+// once every submitted query has been delivered, or promptly after
+// CloseNow / context cancellation.
+func (st *Stream) Results() <-chan StreamResult { return st.out }
+
+// Close ends intake: no further Submit calls are accepted, queued and
+// in-flight queries still complete, and Results closes once every
+// submitted query has been delivered. Close never blocks and is
+// idempotent.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	delivering := st.delivering
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	// The scheduler is not closed here: queries still waiting for a
+	// delivery slot get forwarded as the consumer drains. The stream is
+	// the scheduler's only producer, so closing intake adds nothing; the
+	// scheduler idles (no goroutines) once drained and is torn down when
+	// delivery finishes.
+	if !delivering {
+		// Nothing was ever submitted: there is no delivery goroutine to
+		// close the channel.
+		st.finish()
+	}
+}
+
+// CloseNow ends the session immediately: intake stops, queued queries are
+// dropped, in-flight micro-batches abort at their next query boundary and
+// Results closes without delivering the remainder. Safe to call from any
+// goroutine, any number of times, including after Close.
+func (st *Stream) CloseNow() {
+	st.cancel()
+	st.abort()
+}
+
+// abort is the CloseNow / context-cancellation path; it must be
+// idempotent.
+func (st *Stream) abort() {
+	st.sched.CloseNow()
+	st.mu.Lock()
+	st.closed = true
+	st.aborted = true
+	st.waiting = nil // queued work is dropped, not drained
+	delivering := st.delivering
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if !delivering {
+		st.finish()
+	}
+}
+
+// finish closes the Results channel exactly once and releases the
+// context resources.
+func (st *Stream) finish() {
+	st.mu.Lock()
+	done := st.outClosed
+	st.outClosed = true
+	st.mu.Unlock()
+	if done {
+		return
+	}
+	close(st.out)
+	st.stop()
+	st.cancel()
+}
+
+// deliver is the reorder buffer: it walks submissions in order, waits for
+// each ticket and forwards the result, so out-of-order batch completions
+// are delivered in submission order. It exits — closing Results — when the
+// stream is closed and drained, or as soon as the stream context is
+// cancelled. Consumed submissions are popped from the front of subs (a
+// long-lived stream retains memory proportional to its backlog, not to
+// everything it ever carried), and each pop frees a forwarding slot for
+// the next waiting query.
+func (st *Stream) deliver() {
+	defer st.finish()
+	for i := 0; ; i++ {
+		st.mu.Lock()
+		for len(st.subs) == 0 && !st.closed {
+			st.cond.Wait()
+		}
+		if len(st.subs) == 0 {
+			// Closed and drained: forwardLocked keeps subs non-empty
+			// whenever waiting queries remain (outside an abort, where
+			// waiting is dropped), so nothing is left behind.
+			st.mu.Unlock()
+			return
+		}
+		sub := st.subs[0]
+		st.subs[0] = streamSub{} // release for GC
+		st.subs = st.subs[1:]
+		st.forwardLocked() // a delivery slot freed: pull the next query in
+		st.mu.Unlock()
+
+		res, err := sub.ticket.Wait(st.ctx)
+		if st.ctx.Err() != nil {
+			return
+		}
+		select {
+		case st.out <- StreamResult{Index: i, Query: sub.query, Result: res, Err: err}:
+		case <-st.ctx.Done():
+			return
+		}
+	}
+}
+
+// defaultStream returns the cluster's lazily created compatibility stream
+// backing Cluster.Submit/Results/Close. If Close or CloseNow ran before
+// the stream existed, it is created already closed (respectively aborted),
+// so Submit fails and Results is closed.
+func (c *Cluster) defaultStream() *Stream {
+	c.mu.Lock()
+	if c.defStream == nil {
+		c.defStream = c.NewStream(context.Background())
+	}
+	st := c.defStream
+	aborted, closed := c.closed, c.defClosed
+	c.mu.Unlock()
+	// Both are idempotent; apply the stronger state.
+	if aborted {
+		st.CloseNow()
+	} else if closed {
+		st.Close()
+	}
+	return st
+}
+
+// Submit enqueues a query on the cluster's default streaming session (see
+// Stream.Submit). Independent sessions — with their own ordering and
+// cancellation — come from NewStream.
+func (c *Cluster) Submit(query Sequence) error { return c.defaultStream().Submit(query) }
+
+// Results returns the default streaming session's delivery channel (see
+// Stream.Results).
+func (c *Cluster) Results() <-chan StreamResult { return c.defaultStream().Results() }
+
+// Close ends the default streaming session gracefully (see Stream.Close).
+// Search, SearchBatch and SearchScheduled remain usable. A cluster that
+// never streamed just records the closure — a later Results() returns an
+// already-closed channel — without constructing stream machinery.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	c.defClosed = true
+	ds := c.defStream
+	c.mu.Unlock()
+	if ds != nil {
+		ds.Close()
+	}
+}
+
+// CloseNow tears down the cluster's scheduled paths: the default streaming
+// session is aborted (queued work dropped, in-flight batches cancelled at
+// their next query boundary) and the serving scheduler stops accepting
+// queries. Direct Search and SearchBatch calls remain usable.
+func (c *Cluster) CloseNow() {
+	c.mu.Lock()
+	c.closed = true
+	ds := c.defStream
+	s := c.serving
+	c.mu.Unlock()
+	if ds != nil {
+		ds.CloseNow()
+	}
+	if s != nil {
+		s.CloseNow()
+	}
+}
