@@ -10,12 +10,18 @@ import (
 	"heterosw/internal/core"
 	"heterosw/internal/qsched"
 	"heterosw/internal/sequence"
+	"heterosw/internal/stats"
 )
 
 // ErrClusterClosed is returned by the scheduled entry points
 // (SearchScheduled and the HTTP front end) after Cluster.CloseNow. Direct
 // Search and SearchBatch calls remain usable.
 var ErrClusterClosed = errors.New("heterosw: cluster closed")
+
+// ErrNoSignificance is returned when ReportOptions.EValues is requested
+// over a database too small or too degenerate to fit the Gumbel null model
+// (the fit needs a few dozen database sequences).
+var ErrNoSignificance = errors.New("heterosw: significance fit unavailable")
 
 // ClusterOptions configures a Cluster over a database.
 //
@@ -122,6 +128,104 @@ type ClusterResult struct {
 	Result
 	// Backends has one entry per roster backend, in roster order.
 	Backends []BackendReport
+	// Significance is the Gumbel null model fitted over the full score
+	// distribution when the search requested ReportOptions.EValues; nil
+	// otherwise.
+	Significance *Significance
+}
+
+// ReportOptions selects the optional reporting phases of one search call.
+// The zero value is the plain score pass of the paper's step 4: a
+// descending score list and nothing else. Report options are part of the
+// scheduler cache key, so an aligned result and a score-only result of the
+// same query never alias in the cluster's LRU cache.
+type ReportOptions struct {
+	// Alignments enables reporting phase two: after the vectorised score
+	// pass selects the top-K hits, the query is re-aligned against just
+	// those K database sequences — fanned out across the cluster roster —
+	// and each hit gains coordinates, a CIGAR and identity counts
+	// (Hit.Alignment). The traceback phase only ever aligns K sequences,
+	// never the full database.
+	Alignments bool
+	// EValues fits a Gumbel null model over the full score distribution
+	// (see Result.FitSignificance) and decorates every reported hit with
+	// its bit score and E-value (Hit.Significance); the fitted model is
+	// returned as ClusterResult.Significance. Fails with ErrNoSignificance
+	// on databases with fewer than a few dozen sequences.
+	EValues bool
+	// TopK truncates this call's hit list, overriding the cluster-wide
+	// Options.TopK for this search only (0 keeps the cluster default).
+	// With Alignments set it is K, the number of sequences the traceback
+	// phase aligns. When a reporting phase is requested and both TopK and
+	// the cluster default are 0, the reported hit list is bounded at
+	// defaultReportHits, so every returned hit is decorated and an
+	// unbounded search never re-aligns the whole database.
+	TopK int
+	// EValueTrim is the top fraction of scores excluded from the
+	// significance fit as suspected homologs (0 selects the 1% default).
+	EValueTrim float64
+}
+
+// validate rejects unusable report options.
+func (rep ReportOptions) validate() error {
+	if rep.TopK < 0 {
+		return fmt.Errorf("heterosw: negative report TopK %d", rep.TopK)
+	}
+	if !(rep.EValueTrim >= 0 && rep.EValueTrim < 0.5) { // rejects NaN too
+		return fmt.Errorf("heterosw: report EValueTrim %v outside [0, 0.5)", rep.EValueTrim)
+	}
+	return nil
+}
+
+// key fingerprints the report options for the scheduler cache. The zero
+// value maps to the empty string, so score-only traffic keeps the compact
+// pre-report cache keys.
+func (rep ReportOptions) key() string {
+	if rep == (ReportOptions{}) {
+		return ""
+	}
+	return fmt.Sprintf("R:a=%t,e=%t,k=%d,t=%g|", rep.Alignments, rep.EValues, rep.TopK, rep.EValueTrim)
+}
+
+// oneReport resolves the optional trailing ReportOptions of the search
+// entry points: absent means the zero value, and at most one is accepted.
+func oneReport(report []ReportOptions) (ReportOptions, error) {
+	switch len(report) {
+	case 0:
+		return ReportOptions{}, nil
+	case 1:
+		return report[0], report[0].validate()
+	}
+	return ReportOptions{}, fmt.Errorf("heterosw: at most one ReportOptions per call")
+}
+
+// defaultReportHits bounds the traceback phase when neither the call nor
+// the cluster set an explicit top-K: decorating an unbounded hit list
+// would re-align the entire database, defeating the two-phase design.
+const defaultReportHits = 10
+
+// checkReport rejects report options this cluster can never satisfy —
+// before the query reaches the scheduler. An EValues request over a
+// too-small database would otherwise fail deterministically inside every
+// micro-batch it joins, poisoning the batch and degrading its coalesced
+// neighbours to serial per-query retries. (A degenerate zero-variance
+// score distribution can still fail inside the fit — only computing the
+// scores reveals it — where the scheduler's per-query retry isolates the
+// failure to the one query.)
+func (c *Cluster) checkReport(rep ReportOptions) error {
+	if rep.EValues {
+		if err := stats.FitViable(c.db.Len(), rep.EValueTrim); err != nil {
+			return fmt.Errorf("%w (%v)", ErrNoSignificance, err)
+		}
+	}
+	return nil
+}
+
+// reportQuery pairs a query with its report options; it is the unit the
+// scheduler batches, dedups and caches.
+type reportQuery struct {
+	seq Sequence
+	rep ReportOptions
 }
 
 // BackendTotals is one backend's cumulative accounting across every search
@@ -137,6 +241,9 @@ type BackendTotals struct {
 	Grants     int64
 	Residues   int64
 	SimSeconds float64
+	// Tracebacks counts the aligned-hit tracebacks the backend has run in
+	// reporting phase two (ReportOptions.Alignments).
+	Tracebacks int64
 }
 
 // Cluster is an N-device search cluster over a Database: the paper's
@@ -157,10 +264,10 @@ type Cluster struct {
 	keyBase  string
 
 	mu        sync.Mutex
-	serving   *qsched.Scheduler[Sequence, *ClusterResult] // lazy; SearchScheduled and the HTTP front end
-	defStream *Stream                                     // lazy; the Submit/Results/Close compatibility surface
-	defClosed bool                                        // Close seen before the default stream existed
-	closed    bool                                        // set by CloseNow; scheduled paths refuse new work
+	serving   *qsched.Scheduler[reportQuery, *ClusterResult] // lazy; SearchScheduled and the HTTP front end
+	defStream *Stream                                        // lazy; the Submit/Results/Close compatibility surface
+	defClosed bool                                           // Close seen before the default stream existed
+	closed    bool                                           // set by CloseNow; scheduled paths refuse new work
 }
 
 // NewCluster builds a cluster over the database with the given roster and
@@ -258,9 +365,18 @@ func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
 }
 
 // Search distributes one query across the cluster's backends and merges
-// the score lists — Algorithm 2 with N devices. Search bypasses the
+// the score lists — Algorithm 2 with N devices. An optional ReportOptions
+// enables the aligned-hit reporting phases: tracebacks over the top-K hits
+// and/or an E-value fit over the score distribution. Search bypasses the
 // scheduler and cache; serving traffic should prefer SearchScheduled.
-func (c *Cluster) Search(query Sequence) (*ClusterResult, error) {
+func (c *Cluster) Search(query Sequence, report ...ReportOptions) (*ClusterResult, error) {
+	rep, err := oneReport(report)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkReport(rep); err != nil {
+		return nil, err
+	}
 	if query.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value query")
 	}
@@ -268,27 +384,43 @@ func (c *Cluster) Search(query Sequence) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.wrap(res), nil
+	out := c.wrap(res)
+	if err := c.decorate(context.Background(), query, out, rep); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SearchBatch runs a batch of queries, amortising the shard split, chunk
 // partition and per-backend lane packings across the whole batch. Results
-// are returned in query order.
-func (c *Cluster) SearchBatch(queries []Sequence) ([]*ClusterResult, error) {
+// are returned in query order; an optional ReportOptions applies to every
+// query of the batch.
+func (c *Cluster) SearchBatch(queries []Sequence, report ...ReportOptions) ([]*ClusterResult, error) {
+	rep, err := oneReport(report)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkReport(rep); err != nil {
+		return nil, err
+	}
+	rqs := make([]reportQuery, len(queries))
 	for i, q := range queries {
 		if q.impl == nil {
 			return nil, fmt.Errorf("heterosw: zero-value query %d", i)
 		}
+		rqs[i] = reportQuery{seq: q, rep: rep}
 	}
-	return c.searchBatchCtx(context.Background(), queries)
+	return c.searchBatchCtx(context.Background(), rqs)
 }
 
 // searchBatchCtx is the batch executor behind SearchBatch and every
-// scheduler: queries must already be validated non-zero.
-func (c *Cluster) searchBatchCtx(ctx context.Context, queries []Sequence) ([]*ClusterResult, error) {
-	impls := make([]*sequence.Sequence, len(queries))
-	for i, q := range queries {
-		impls[i] = q.impl
+// scheduler: queries must already be validated non-zero, report options
+// validated. The score pass runs for the whole batch first (amortising
+// pre-processing), then each query's reporting phases decorate its result.
+func (c *Cluster) searchBatchCtx(ctx context.Context, rqs []reportQuery) ([]*ClusterResult, error) {
+	impls := make([]*sequence.Sequence, len(rqs))
+	for i, rq := range rqs {
+		impls[i] = rq.seq.impl
 	}
 	res, err := c.disp.SearchBatchContext(ctx, impls, c.dopt)
 	if err != nil {
@@ -297,18 +429,83 @@ func (c *Cluster) searchBatchCtx(ctx context.Context, queries []Sequence) ([]*Cl
 	out := make([]*ClusterResult, len(res))
 	for i, r := range res {
 		out[i] = c.wrap(r)
+		if err := c.decorate(ctx, rqs[i].seq, out[i], rqs[i].rep); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
+// decorate runs the reporting phases over a freshly wrapped result: the
+// per-call hit truncation, the significance fit and the traceback fan-out.
+// It must only ever see results this call owns — cached results are
+// decorated before they enter the cache, never after.
+func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResult, rep ReportOptions) error {
+	if rep == (ReportOptions{}) {
+		return nil
+	}
+	if rep.TopK > 0 && rep.TopK < len(res.Hits) {
+		res.Hits = res.Hits[:rep.TopK]
+	} else if (rep.Alignments || rep.EValues) && rep.TopK <= 0 &&
+		c.dopt.Search.TopK <= 0 && len(res.Hits) > defaultReportHits {
+		// No explicit K anywhere: bound the reported list so the phases
+		// below decorate every returned hit — never a partially decorated
+		// full-database list, and never a full-database traceback.
+		res.Hits = res.Hits[:defaultReportHits]
+	}
+	if rep.EValues {
+		sig, err := res.FitSignificance(rep.EValueTrim)
+		if err != nil {
+			return fmt.Errorf("%w (%v)", ErrNoSignificance, err)
+		}
+		res.Significance = sig
+		for i := range res.Hits {
+			h := &res.Hits[i]
+			h.Significance = &HitSignificance{
+				BitScore: sig.BitScore(h.Score),
+				EValue:   sig.EValue(h.Score),
+			}
+		}
+	}
+	if rep.Alignments {
+		k := len(res.Hits)
+		hits := make([]core.Hit, k)
+		for i := 0; i < k; i++ {
+			h := res.Hits[i]
+			hits[i] = core.Hit{SeqIndex: h.Index, ID: h.ID, Score: int32(h.Score)}
+		}
+		details, err := c.disp.AlignHits(ctx, query.impl, hits, c.dopt)
+		if err != nil {
+			return err
+		}
+		for i := range details {
+			d := &details[i]
+			res.Hits[i].Alignment = &HitAlignment{
+				QueryStart:   d.QueryStart,
+				QueryEnd:     d.QueryEnd,
+				SubjectStart: d.SubjectStart,
+				SubjectEnd:   d.SubjectEnd,
+				CIGAR:        d.CIGAR,
+				Identities:   d.Identities,
+				Columns:      d.Columns,
+			}
+		}
+	}
+	return nil
+}
+
 // cacheKey derives the scheduler dedup/cache key of a query: the cluster's
-// option fingerprint plus the raw encoded residues (the encoding is
-// injective, so no decode pass is needed), so sequences with equal
-// residues share one result whatever their IDs.
-func (c *Cluster) cacheKey(q Sequence) (string, bool) {
-	res := q.impl.Residues
-	b := make([]byte, len(c.keyBase)+len(res))
+// option fingerprint, the report-option fingerprint (empty for score-only
+// traffic, so an aligned result and a score-only result never alias) plus
+// the raw encoded residues (the encoding is injective, so no decode pass
+// is needed) — sequences with equal residues share one result whatever
+// their IDs.
+func (c *Cluster) cacheKey(rq reportQuery) (string, bool) {
+	res := rq.seq.impl.Residues
+	rk := rq.rep.key()
+	b := make([]byte, len(c.keyBase)+len(rk)+len(res))
 	n := copy(b, c.keyBase)
+	n += copy(b[n:], rk)
 	for i, code := range res {
 		b[n+i] = byte(code)
 	}
@@ -317,13 +514,13 @@ func (c *Cluster) cacheKey(q Sequence) (string, bool) {
 
 // newScheduler builds a micro-batching scheduler over this cluster's batch
 // executor, sharing the cluster-wide result cache.
-func (c *Cluster) newScheduler() *qsched.Scheduler[Sequence, *ClusterResult] {
+func (c *Cluster) newScheduler() *qsched.Scheduler[reportQuery, *ClusterResult] {
 	return qsched.New(c.searchBatchCtx, c.cacheKey, c.cache, c.schedOpt)
 }
 
 // servingScheduler returns the cluster-wide scheduler used by
 // SearchScheduled and the HTTP front end, creating it on first use.
-func (c *Cluster) servingScheduler() (*qsched.Scheduler[Sequence, *ClusterResult], error) {
+func (c *Cluster) servingScheduler() (*qsched.Scheduler[reportQuery, *ClusterResult], error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -339,12 +536,21 @@ func (c *Cluster) servingScheduler() (*qsched.Scheduler[Sequence, *ClusterResult
 // scheduler: concurrent callers coalesce into micro-batches (amortising
 // pre-processing exactly as SearchBatch does), identical in-flight queries
 // share one execution, and results are served from the cluster's LRU cache
-// when possible. ctx bounds the caller's wait — cancelling it abandons the
-// wait, not the computation, so the result still lands in the cache for
-// the next asker. This is the entry point the swserve HTTP front end uses.
+// when possible. An optional ReportOptions requests the aligned-hit
+// reporting phases; it is part of the dedup/cache key. ctx bounds the
+// caller's wait — cancelling it abandons the wait, not the computation, so
+// the result still lands in the cache for the next asker. This is the
+// entry point the swserve HTTP front end uses.
 //
 // Results may be shared between callers; treat them as read-only.
-func (c *Cluster) SearchScheduled(ctx context.Context, query Sequence) (*ClusterResult, error) {
+func (c *Cluster) SearchScheduled(ctx context.Context, query Sequence, report ...ReportOptions) (*ClusterResult, error) {
+	rep, err := oneReport(report)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkReport(rep); err != nil {
+		return nil, err
+	}
 	if query.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value query")
 	}
@@ -352,7 +558,7 @@ func (c *Cluster) SearchScheduled(ctx context.Context, query Sequence) (*Cluster
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Do(ctx, query)
+	res, err := s.Do(ctx, reportQuery{seq: query, rep: rep})
 	if errors.Is(err, qsched.ErrClosed) {
 		return nil, ErrClusterClosed
 	}
@@ -373,6 +579,7 @@ func (c *Cluster) Totals() (queries int64, per []BackendTotals) {
 			Grants:     bt.Grants,
 			Residues:   bt.Residues,
 			SimSeconds: bt.SimSeconds,
+			Tracebacks: bt.Tracebacks,
 		}
 	}
 	return q, per

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark artifact, so CI can publish machine-readable performance data
+// points (GCUPS and queries/s) per commit and the perf trajectory of the
+// repository has actual data behind it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Kernel|Stream' -benchtime=1x . | benchjson -out BENCH.json
+//
+// Standard ns/op values and every custom metric (Mcells/s, sim-GCUPS,
+// queries/s, ...) are carried through verbatim; two normalised fields,
+// gcups and queries_per_sec, are derived where the metrics allow so
+// downstream tooling does not need to know each benchmark's unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	// GCUPS is derived from a GCUPS-valued metric (sim-GCUPS, GCUPS) or a
+	// Mcells/s metric divided by 1000; QueriesPerSec from a queries/s
+	// metric. Zero when the benchmark reports neither.
+	GCUPS         float64 `json:"gcups,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+}
+
+// Artifact is the emitted document.
+type Artifact struct {
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line,
+// returning ok=false for non-benchmark lines.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.SplitN(fields[0], "-", 2)[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		b.Metrics[unit] = v
+		switch {
+		case unit == "GCUPS" || strings.HasSuffix(unit, "-GCUPS"):
+			b.GCUPS = v
+		case unit == "Mcells/s" || strings.HasSuffix(unit, "-McUPS"):
+			if b.GCUPS == 0 {
+				b.GCUPS = v / 1000
+			}
+		case unit == "queries/s":
+			b.QueriesPerSec = v
+		}
+	}
+	return b, true
+}
+
+func main() {
+	out := flag.String("out", "", "output file (stdout when empty)")
+	flag.Parse()
+
+	art := Artifact{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			art.Benchmarks = append(art.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(art.Benchmarks), *out)
+}

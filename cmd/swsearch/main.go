@@ -45,6 +45,8 @@ func main() {
 		noBlock    = flag.Bool("noblocking", false, "disable the cache-blocking optimisation")
 		topK       = flag.Int("top", 10, "number of hits to print")
 		showAlign  = flag.Int("align", 0, "print full alignments for the first N hits")
+		blast      = flag.Bool("blast", false, "run the two-phase aligned search (score pass, then tracebacks over the top hits) and print a BLAST-style report")
+		evalue     = flag.Bool("evalue", false, "with -blast: fit a null model over the score distribution and report bit scores and E-values")
 	)
 	flag.Parse()
 
@@ -92,42 +94,41 @@ func main() {
 	}
 	opt.NoBlocking = *noBlock
 
+	if *blast {
+		// The two-phase reporting pipeline: the vectorised score pass over
+		// the roster selects the top hits, then the traceback phase
+		// re-aligns the query against just those hits. A bare -blast runs
+		// a single-device roster of -device.
+		roster := *devices
+		if roster == "" {
+			roster = *device
+		}
+		cl, cerr := heterosw.NewCluster(db, clusterOptions(opt, roster, *dist, *shares, *threads))
+		if cerr != nil {
+			fatal(cerr)
+		}
+		start := time.Now()
+		res, rerr := cl.Search(query, heterosw.ReportOptions{
+			Alignments: true, EValues: *evalue, TopK: *topK,
+		})
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if err := heterosw.WriteReport(os.Stdout, query, db, res, 60); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nperformance: %.2f GCUPS simulated (%.4fs on model), %v real\n",
+			res.SimGCUPS, res.SimSeconds, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	fmt.Printf("database: %s\n", db)
 	fmt.Printf("query:    %s (%d aa)\n", query.ID(), query.Len())
 
 	start := time.Now()
 	var res *heterosw.Result
 	if *devices != "" {
-		kinds := []heterosw.DeviceKind{}
-		for _, d := range strings.Split(*devices, ",") {
-			kinds = append(kinds, heterosw.DeviceKind(strings.TrimSpace(d)))
-		}
-		var shareList []float64
-		if *shares != "" {
-			for _, s := range strings.Split(*shares, ",") {
-				v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
-				if perr != nil {
-					fatal(perr)
-				}
-				shareList = append(shareList, v)
-			}
-		}
-		// -threads applies to every backend in cluster mode (0 = each
-		// device's maximum).
-		var perBackend []int
-		if *threads > 0 {
-			perBackend = make([]int, len(kinds))
-			for i := range perBackend {
-				perBackend[i] = *threads
-			}
-		}
-		cl, cerr := heterosw.NewCluster(db, heterosw.ClusterOptions{
-			Options: opt,
-			Devices: kinds,
-			Threads: perBackend,
-			Dist:    *dist,
-			Shares:  shareList,
-		})
+		cl, cerr := heterosw.NewCluster(db, clusterOptions(opt, *devices, *dist, *shares, *threads))
 		if cerr != nil {
 			fatal(cerr)
 		}
@@ -175,6 +176,40 @@ func main() {
 			fatal(aerr)
 		}
 		fmt.Printf("\n>%s (CIGAR %s)\n%s", h.ID, al.CIGAR(), al.Format(60))
+	}
+}
+
+// clusterOptions assembles ClusterOptions from the shared cluster flags:
+// the comma-separated roster and static shares, and -threads applied to
+// every backend (0 = each device's maximum).
+func clusterOptions(opt heterosw.Options, devices, dist, shares string, threads int) heterosw.ClusterOptions {
+	kinds := []heterosw.DeviceKind{}
+	for _, d := range strings.Split(devices, ",") {
+		kinds = append(kinds, heterosw.DeviceKind(strings.TrimSpace(d)))
+	}
+	var shareList []float64
+	if shares != "" {
+		for _, s := range strings.Split(shares, ",") {
+			v, perr := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if perr != nil {
+				fatal(perr)
+			}
+			shareList = append(shareList, v)
+		}
+	}
+	var perBackend []int
+	if threads > 0 {
+		perBackend = make([]int, len(kinds))
+		for i := range perBackend {
+			perBackend[i] = threads
+		}
+	}
+	return heterosw.ClusterOptions{
+		Options: opt,
+		Devices: kinds,
+		Threads: perBackend,
+		Dist:    dist,
+		Shares:  shareList,
 	}
 }
 

@@ -26,6 +26,13 @@
 //     execution and repeats come from a cluster-wide LRU cache — see
 //     Cluster.NewStream, Cluster.SearchScheduled and the cmd/swserve
 //     HTTP front end;
+//   - two-phase aligned-hit reporting: after the vectorised score pass
+//     selects the top-K hits, a traceback phase re-aligns the query
+//     against just those K subjects across the roster and decorates each
+//     hit with coordinates, a CIGAR, identity counts and (optionally) a
+//     bit score and E-value from a Gumbel null model fitted over the full
+//     score distribution — see ReportOptions, Hit.Alignment,
+//     Hit.Significance and WriteReport;
 //   - deterministic performance models of the paper's two devices (dual
 //     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
 //     alongside the real wall-clock throughput of the pure-Go kernels;
@@ -76,6 +83,31 @@
 // and repeated queries are answered from the cluster's LRU result cache.
 // ClusterOptions.MaxInFlight, BatchWindow, MaxBatch and CacheSize tune the
 // scheduler.
+//
+// # Aligned-hit reporting
+//
+// Every Cluster entry point — Search, SearchBatch, SearchScheduled and
+// Stream.Submit — accepts an optional trailing ReportOptions selecting
+// the two-phase reporting pipeline of production search services (the
+// SSW Library's score-then-traceback design): phase one is the vectorised
+// score pass over the whole database, phase two re-aligns the query
+// against only the top-K hits, fanned out across the cluster roster:
+//
+//	res, err := cl.Search(query, heterosw.ReportOptions{
+//	    Alignments: true, // coordinates, CIGAR, identities per hit
+//	    EValues:    true, // bit score + E-value from a fitted null model
+//	    TopK:       10,   // K: the number of hits reported and aligned
+//	})
+//	for _, h := range res.Hits {
+//	    fmt.Println(h.ID, h.Score, h.Alignment.CIGAR, h.Significance.EValue)
+//	}
+//
+// The traceback phase only ever aligns K sequences, never the full
+// database. Report options are part of the scheduler's dedup/cache key,
+// so an aligned result and a score-only result of the same query never
+// alias. WriteReport renders a decorated result as a BLAST-style text
+// report (swsearch -blast); the HTTP front end exposes the same phases as
+// the align and evalue request fields.
 //
 // # Tools
 //

@@ -1,6 +1,8 @@
-// Quickstart: build a small synthetic protein database, search one query
-// with the paper's best configuration (intrinsic-SP kernels, blocking,
-// BLOSUM62, gaps 10/2), and print the top hits with one full alignment.
+// Quickstart: build a small synthetic protein database and run one
+// two-phase aligned search — the vectorised score pass selects the top
+// hits, the traceback phase decorates them with coordinates, CIGARs and
+// identities, and a fitted null model adds bit scores and E-values — all
+// from a single Cluster.Search call.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -8,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"heterosw"
 )
@@ -21,28 +24,34 @@ func main() {
 	query := queries[2] // a 222-residue query, quick to align everywhere
 	fmt.Printf("query:    %s (%d aa)\n\n", query.ID(), query.Len())
 
-	res, err := db.Search(query, heterosw.Options{TopK: 5})
+	// The paper's Xeon+Phi pair with the dynamic work queue; any roster
+	// works (e.g. Devices: []heterosw.DeviceKind{heterosw.DeviceXeon}).
+	cl, err := heterosw.NewCluster(db, heterosw.ClusterOptions{Dist: "dynamic"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%.2f simulated GCUPS on %s (%d simulated threads), %.3f GCUPS wall-clock\n\n",
-		res.SimGCUPS, heterosw.DeviceXeon, res.Threads, res.WallGCUPS)
-	sig, err := res.FitSignificance(0)
+	// One call: score pass + tracebacks over the top 5 hits + E-values.
+	res, err := cl.Search(query, heterosw.ReportOptions{
+		Alignments: true,
+		EValues:    true,
+		TopK:       5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("top hits (significance from the fitted null model,", sig, "):")
+
+	fmt.Printf("%.2f simulated GCUPS across %d backends (%.3f GCUPS wall-clock)\n\n",
+		res.SimGCUPS, len(res.Backends), res.WallGCUPS)
 	for i, h := range res.Hits {
-		fmt.Printf("  %d. %-12s score %5d  bits %6.1f  E-value %.2g\n",
-			i+1, h.ID, h.Score, sig.BitScore(h.Score), sig.EValue(h.Score))
+		fmt.Printf("  %d. %-12s score %5d  bits %6.1f  E-value %.2g  CIGAR %s\n",
+			i+1, h.ID, h.Score,
+			h.Significance.BitScore, h.Significance.EValue, h.Alignment.CIGAR)
 	}
 
-	// The planted query must be its own best hit; show that alignment.
-	best := res.Hits[0]
-	al, err := heterosw.Align(query, db.Seq(best.Index), heterosw.AlignOptions{})
-	if err != nil {
+	// The same decorated result renders as a BLAST-style report.
+	fmt.Println()
+	if err := heterosw.WriteReport(os.Stdout, query, db, res, 60); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nbest alignment (CIGAR %s):\n%s", al.CIGAR(), al.Format(60))
 }

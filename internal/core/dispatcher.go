@@ -278,6 +278,9 @@ type BackendTotals struct {
 	Residues int64
 	// SimSeconds is the backend's accumulated simulated busy time.
 	SimSeconds float64
+	// Tracebacks counts the aligned-hit tracebacks the backend has run in
+	// reporting phase two (AlignHits).
+	Tracebacks int64
 }
 
 // Totals reports the number of completed query searches and per-backend

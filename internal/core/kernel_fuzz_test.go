@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"heterosw/internal/alphabet"
+	"heterosw/internal/profile"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+	"heterosw/internal/submat"
+	"heterosw/internal/swalign"
+)
+
+// Caps bounding one fuzz execution: large enough to cross the int16
+// saturation ceiling (a tryptophan self-alignment needs ~3000 residues at
+// 11 points per column) and to exercise multi-group lane packings, small
+// enough that one input stays well under a second across all kernels.
+const (
+	fuzzMaxQuery  = 3200
+	fuzzMaxSeqLen = 3200
+	fuzzMaxDBRes  = 6400
+	fuzzMaxSeqs   = 64
+)
+
+// fuzzSeqDelim separates database sequences in the raw fuzz input.
+const fuzzSeqDelim = 0xFF
+
+// fuzzResidues maps raw fuzz bytes onto the 24-letter alphabet.
+func fuzzResidues(raw []byte, max int) []alphabet.Code {
+	if len(raw) > max {
+		raw = raw[:max]
+	}
+	out := make([]alphabet.Code, len(raw))
+	for i, b := range raw {
+		out[i] = alphabet.Code(b % alphabet.Size)
+	}
+	return out
+}
+
+// fuzzSequence builds an internal sequence from residue codes via the
+// ASCII round trip, so the input goes through the same constructor real
+// data does.
+func fuzzSequence(id string, codes []alphabet.Code) *sequence.Sequence {
+	return sequence.FromString(id, string(alphabet.DecodeAll(codes)))
+}
+
+// fuzzDatabase splits the raw bytes into database sequences on the
+// delimiter byte, applying the corpus caps.
+func fuzzDatabase(raw []byte, sorted bool) *seqdb.Database {
+	var seqs []*sequence.Sequence
+	var total int
+	for _, chunk := range bytes.Split(raw, []byte{fuzzSeqDelim}) {
+		if len(chunk) == 0 {
+			continue
+		}
+		codes := fuzzResidues(chunk, fuzzMaxSeqLen)
+		if total+len(codes) > fuzzMaxDBRes {
+			codes = codes[:fuzzMaxDBRes-total]
+			if len(codes) == 0 {
+				break
+			}
+		}
+		total += len(codes)
+		seqs = append(seqs, fuzzSequence("s", codes))
+		if len(seqs) >= fuzzMaxSeqs || total >= fuzzMaxDBRes {
+			break
+		}
+	}
+	if len(seqs) == 0 {
+		return nil
+	}
+	return seqdb.New(seqs, sorted)
+}
+
+// FuzzKernelParity drives random queries and databases through every
+// scoring path — the scalar kernel, the guided and intrinsic lane kernels
+// (16-bit with 32-bit overflow escalation), and both intra-task kernels
+// (anti-diagonal wavefront and Farrar's striped layout) — and requires
+// bit-identical scores against the swalign oracle. The seed corpus covers
+// the int16 saturation boundary, 1-residue sequences on both sides,
+// lane-count edges (one sequence more than a full lane group) and zero
+// gap penalties (the lazy-F worst case).
+func FuzzKernelParity(f *testing.F) {
+	w := byte(17) // 'W', the highest-scoring self-match in BLOSUM62
+	wRun := bytes.Repeat([]byte{w}, 3000)
+	lane33 := bytes.Repeat([]byte{w, fuzzSeqDelim}, 33)
+	// penSel packs gap penalties: low nibble opens, high nibble extends.
+	paperPens := uint8(10 | 2<<4)
+	f.Add([]byte("MKWVLA"), []byte("MKWVLA\xffCCQEGHIL\xffW"), uint8(2), paperPens, uint8(1))
+	f.Add([]byte{w}, []byte{w}, uint8(0), paperPens, uint8(0))                                     // 1-residue pair
+	f.Add(wRun, wRun, uint8(4), paperPens, uint8(1))                                               // int16 saturation
+	f.Add([]byte{w}, wRun, uint8(6), paperPens, uint8(0))                                          // 1-residue query, long subject
+	f.Add(wRun[:64], lane33, uint8(6), paperPens, uint8(2))                                        // 33 sequences across 32 lanes
+	f.Add([]byte("ARNDARND"), []byte("ARND\xffRNDA\xffNDAR"), uint8(3), uint8(0), uint8(0))        // zero gap penalties
+	f.Add([]byte{}, []byte("ARND"), uint8(1), paperPens, uint8(3))                                 // empty query
+	f.Add([]byte("AAAA"), bytes.Repeat([]byte{0, fuzzSeqDelim}, 40), uint8(7), uint8(5), uint8(7)) // many tiny sequences, 64 lanes
+
+	lanesTable := []int{1, 2, 3, 4, 8, 16, 32, 64}
+	blockTable := []int{0, 1, 7, 64}
+
+	f.Fuzz(func(t *testing.T, qRaw, dbRaw []byte, lanesSel, penSel, blockSel uint8) {
+		query := fuzzResidues(qRaw, fuzzMaxQuery)
+		db := fuzzDatabase(dbRaw, lanesSel&1 == 0)
+		if db == nil {
+			return
+		}
+		lanes := lanesTable[int(lanesSel)%len(lanesTable)]
+		p := Params{
+			GapOpen:   int(penSel & 0x0F),
+			GapExtend: int(penSel >> 4),
+			Blocked:   blockSel&1 == 1,
+			BlockRows: blockTable[int(blockSel>>1)%len(blockTable)],
+		}
+		sc := swalign.Scoring{Matrix: submat.BLOSUM62, GapOpen: p.GapOpen, GapExtend: p.GapExtend}
+		qp := profile.NewQuery(query, submat.BLOSUM62)
+
+		want := make([]int32, db.Len())
+		for i := 0; i < db.Len(); i++ {
+			want[i] = int32(swalign.Score(query, db.Seq(i).Residues, sc))
+		}
+		check := func(kernel string, got []int32) {
+			t.Helper()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s (lanes=%d, q=%daa, penalties %d/%d, blocked=%v/%d): seq %d (%daa) scored %d, oracle %d",
+						kernel, lanes, len(query), p.GapOpen, p.GapExtend, p.Blocked, p.BlockRows,
+						i, db.Seq(i).Len(), got[i], want[i])
+				}
+			}
+		}
+
+		for _, v := range []Variant{NoVecSP, GuidedQP, IntrinsicSP} {
+			pv := p
+			pv.Variant = v
+			vl := lanes
+			if v.Vec() == VecNone {
+				vl = 1
+			}
+			got, _ := runVariantQuiet(db, qp, pv, vl)
+			check(v.String(), got)
+		}
+
+		buf := NewBuffers(stripedLanes)
+		intra := make([]int32, db.Len())
+		striped := make([]int32, db.Len())
+		for i := 0; i < db.Len(); i++ {
+			subject := db.Seq(i).Residues
+			intra[i] = alignPairIntra(qp, subject, p, buf)
+			striped[i] = alignPairStriped(qp, subject, p, buf)
+		}
+		check("intra-wavefront", intra)
+		check("intra-striped", striped)
+	})
+}

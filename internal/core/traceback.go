@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"heterosw/internal/offload"
+	"heterosw/internal/sequence"
+	"heterosw/internal/swalign"
+)
+
+// The traceback executor is the second phase of aligned-hit reporting: the
+// vectorised score pass of Algorithm 1/2 selects the top-K hits, then the
+// query is re-aligned against just those K database sequences with the full
+// dynamic-programming matrix and backtracking (the paper's Section II,
+// steps 1-4), recovering coordinates, the CIGAR path and identity counts.
+// This is the SSW Library's score-then-traceback two-phase design: the
+// O(query x database) bulk runs score-only on the fast kernels, and the
+// O(query x subject) tracebacks are paid for K subjects, never the whole
+// database.
+
+// AlignmentDetail is the traceback decoration of one hit.
+type AlignmentDetail struct {
+	// SeqIndex is the subject's database index (caller order), matching
+	// Hit.SeqIndex.
+	SeqIndex int
+	// Score is the traceback score; it always equals the kernel score of
+	// the same pair (the executor verifies and fails otherwise).
+	Score int32
+	// QueryStart/QueryEnd and SubjectStart/SubjectEnd delimit the aligned
+	// segments as half-open residue ranges.
+	QueryStart, QueryEnd     int
+	SubjectStart, SubjectEnd int
+	// CIGAR is the alignment path in run-length notation ("12M2D5M");
+	// Identities counts exactly-matching columns and Columns the total
+	// alignment length.
+	CIGAR      string
+	Identities int
+	Columns    int
+}
+
+// scoringFor derives the reference-alignment scoring from the search
+// options, so phase two scores under exactly the matrix and gap penalties
+// phase one searched with.
+func scoringFor(opt SearchOptions) swalign.Scoring {
+	return swalign.Scoring{
+		Matrix:    opt.matrix(),
+		GapOpen:   opt.Params.GapOpen,
+		GapExtend: opt.Params.GapExtend,
+	}
+}
+
+// AlignHits runs the traceback phase over the dispatcher's roster: the K
+// hits form a work queue drained by one host worker per backend, so the
+// fan-out width scales with the roster size. (The workers are functional
+// host goroutines — the traceback phase has no device-model pacing, and
+// the per-backend traceback counts record which worker happened to drain
+// each hit, not simulated device time.) Results are returned in hits
+// order. ctx is checked at every queue pop, a worker failure aborts the
+// remaining queue, and per-worker traceback counts are folded into the
+// dispatcher's cumulative totals.
+func (d *Dispatcher) AlignHits(ctx context.Context, query *sequence.Sequence, hits []Hit, opt DispatchOptions) ([]AlignmentDetail, error) {
+	if query == nil {
+		return nil, fmt.Errorf("core: nil query")
+	}
+	if err := opt.Search.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	sc := scoringFor(opt.Search)
+	details := make([]AlignmentDetail, len(hits))
+	errs := make([]error, len(d.backends))
+	done := make([]int64, len(d.backends))
+
+	// A worker failure flips failed, so its siblings stop at their next
+	// pop instead of burning full DP tracebacks on a doomed phase.
+	var failed atomic.Bool
+	var next int64
+	var mu sync.Mutex
+	pop := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed.Load() || next >= int64(len(hits)) {
+			return -1
+		}
+		c := int(next)
+		next++
+		return c
+	}
+	workers := len(d.backends)
+	if workers > len(hits) {
+		workers = len(hits)
+	}
+	sigs := make([]*offload.Signal, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		sigs[w] = offload.Start(func() {
+			for {
+				if ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					failed.Store(true)
+					return
+				}
+				i := pop()
+				if i < 0 {
+					return
+				}
+				h := hits[i]
+				if h.SeqIndex < 0 || h.SeqIndex >= d.db.Len() {
+					errs[w] = fmt.Errorf("core: hit %d references sequence %d outside the %d-sequence database", i, h.SeqIndex, d.db.Len())
+					failed.Store(true)
+					return
+				}
+				subject := d.db.Seq(h.SeqIndex)
+				al := swalign.Align(query.Residues, subject.Residues, sc)
+				if int32(al.Score) != h.Score {
+					errs[w] = fmt.Errorf("core: traceback score %d for %s disagrees with kernel score %d", al.Score, subject.ID, h.Score)
+					failed.Store(true)
+					return
+				}
+				details[i] = AlignmentDetail{
+					SeqIndex:     h.SeqIndex,
+					Score:        int32(al.Score),
+					QueryStart:   al.AStart,
+					QueryEnd:     al.AEnd,
+					SubjectStart: al.BStart,
+					SubjectEnd:   al.BEnd,
+					CIGAR:        al.CIGAR(),
+					Identities:   al.Identities,
+					Columns:      len(al.Ops),
+				}
+				done[w]++
+			}
+		})
+	}
+	for _, sig := range sigs {
+		sig.Wait()
+	}
+	if err := firstErr(errs...); err != nil {
+		return nil, err
+	}
+	d.commitTracebacks(done)
+	return details, nil
+}
+
+// commitTracebacks folds one traceback phase's per-worker alignment counts
+// into the cumulative totals. Worker w drains the queue on behalf of
+// backend w; the split between backends records which worker happened to
+// claim each hit, the sum the total tracebacks run.
+func (d *Dispatcher) commitTracebacks(done []int64) {
+	d.totalsMu.Lock()
+	defer d.totalsMu.Unlock()
+	for w, n := range done {
+		d.totals[w].Tracebacks += n
+	}
+}

@@ -31,28 +31,51 @@ type EValueModel struct {
 // mean.
 const eulerGamma = 0.5772156649015329
 
-// FitEValues fits a Gumbel null model to a search's score list by the
-// method of moments, after trimming the top trimFrac fraction of scores
-// (suspected homologs; 0 selects the 1% default). At least 30 usable
-// scores are required.
-func FitEValues(scores []int, trimFrac float64) (*EValueModel, error) {
+// fitPlan resolves the trim rule for an n-score sample: the effective
+// trim fraction (0 selects the 1% default), the number of top scores to
+// exclude, and whether enough usable scores (>= 30) remain. It is the
+// single source of the trimming arithmetic, shared by the viability
+// pre-check and the fit itself.
+func fitPlan(n int, trimFrac float64) (trim int, err error) {
 	if trimFrac <= 0 {
 		trimFrac = 0.01
 	}
 	if trimFrac >= 0.5 {
-		return nil, fmt.Errorf("stats: trim fraction %v too large", trimFrac)
+		return 0, fmt.Errorf("stats: trim fraction %v too large", trimFrac)
 	}
-	n := len(scores)
-	sorted := append([]int(nil), scores...)
-	sort.Ints(sorted)
-	trim := int(float64(n) * trimFrac)
+	trim = int(float64(n) * trimFrac)
 	if trim < 1 {
 		trim = 1
 	}
-	sample := sorted[:n-trim]
-	if len(sample) < 30 {
-		return nil, fmt.Errorf("stats: only %d scores after trimming; need >= 30", len(sample))
+	if n-trim < 30 {
+		return 0, fmt.Errorf("stats: only %d scores after trimming; need >= 30", n-trim)
 	}
+	return trim, nil
+}
+
+// FitViable reports whether a score list of n entries can support a fit
+// at the given trim fraction: at least 30 usable scores must remain after
+// trimming. It lets callers reject an unsatisfiable fit before computing
+// any scores. (A distribution can still be too degenerate — zero variance
+// — which only the fit itself can detect.)
+func FitViable(n int, trimFrac float64) error {
+	_, err := fitPlan(n, trimFrac)
+	return err
+}
+
+// FitEValues fits a Gumbel null model to a search's score list by the
+// method of moments, after trimming the top trimFrac fraction of scores
+// (suspected homologs; 0 selects the 1% default). At least 30 usable
+// scores are required (see FitViable).
+func FitEValues(scores []int, trimFrac float64) (*EValueModel, error) {
+	n := len(scores)
+	trim, err := fitPlan(n, trimFrac)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]int(nil), scores...)
+	sort.Ints(sorted)
+	sample := sorted[:n-trim]
 
 	var sum, sumSq float64
 	for _, s := range sample {

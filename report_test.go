@@ -1,0 +1,226 @@
+package heterosw
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The direct Search path with ReportOptions must produce decorations that
+// agree with the standalone pairwise Align oracle.
+func TestSearchReportMatchesAlignOracle(t *testing.T) {
+	db, seqs := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLAARND")
+	res, err := cl.Search(q, ReportOptions{Alignments: true, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 {
+		t.Fatalf("%d hits, want 3", len(res.Hits))
+	}
+	for _, h := range res.Hits {
+		if h.Alignment == nil {
+			t.Fatalf("hit %s undecorated", h.ID)
+		}
+		want, err := Align(q, db.Seq(h.Index), AlignOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Score != want.Score() || h.Alignment.CIGAR != want.CIGAR() ||
+			h.Alignment.Identities != want.Identities() {
+			t.Fatalf("hit %s: {score %d, %s, %d ids}, oracle {%d, %s, %d}",
+				h.ID, h.Score, h.Alignment.CIGAR, h.Alignment.Identities,
+				want.Score(), want.CIGAR(), want.Identities())
+		}
+		qs, qe, ss, se := want.Coordinates()
+		a := h.Alignment
+		if a.QueryStart != qs || a.QueryEnd != qe || a.SubjectStart != ss || a.SubjectEnd != se {
+			t.Fatalf("hit %s coordinates [%d:%d)x[%d:%d), oracle [%d:%d)x[%d:%d)",
+				h.ID, a.QueryStart, a.QueryEnd, a.SubjectStart, a.SubjectEnd, qs, qe, ss, se)
+		}
+	}
+	// SearchBatch carries the same report options across the batch.
+	batch, err := cl.SearchBatch([]Sequence{q, seqs[1]}, ReportOptions{Alignments: true, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batch {
+		if len(r.Hits) != 2 || r.Hits[0].Alignment == nil {
+			t.Fatalf("batch result %d undecorated: %+v", i, r.Hits)
+		}
+	}
+}
+
+// A reporting search with no explicit K anywhere bounds the returned hit
+// list at defaultReportHits and decorates every returned hit — never a
+// partially decorated full-database list.
+func TestReportUnboundedTopKIsBounded(t *testing.T) {
+	db, _ := SyntheticSwissProt(0.0001, false)  // 54 sequences > defaultReportHits
+	cl, err := NewCluster(db, ClusterOptions{}) // cluster TopK 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLAARNDCCQEGHIL")
+	for _, rep := range []ReportOptions{
+		{Alignments: true},
+		{EValues: true},
+		{Alignments: true, EValues: true},
+	} {
+		res, err := cl.Search(q, rep)
+		if err != nil {
+			t.Fatalf("%+v: %v", rep, err)
+		}
+		if len(res.Hits) != defaultReportHits {
+			t.Fatalf("%+v: %d hits, want %d", rep, len(res.Hits), defaultReportHits)
+		}
+		for _, h := range res.Hits {
+			if rep.Alignments && h.Alignment == nil {
+				t.Fatalf("%+v: hit %s missing alignment", rep, h.ID)
+			}
+			if rep.EValues && h.Significance == nil {
+				t.Fatalf("%+v: hit %s missing significance", rep, h.ID)
+			}
+		}
+		if len(res.Scores) != db.Len() {
+			t.Fatalf("%+v: score list truncated to %d", rep, len(res.Scores))
+		}
+	}
+	// A score-only search over the same cluster stays unbounded.
+	plain, err := cl.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Hits) != db.Len() {
+		t.Fatalf("score-only search returned %d hits, want %d", len(plain.Hits), db.Len())
+	}
+}
+
+// E-values over a 4-sequence database cannot be fitted; the sentinel
+// error must surface through every entry point.
+func TestSearchReportNoSignificance(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+	if _, err := cl.Search(q, ReportOptions{EValues: true}); !errors.Is(err, ErrNoSignificance) {
+		t.Fatalf("Search: err = %v, want ErrNoSignificance", err)
+	}
+	if _, err := cl.SearchScheduled(context.Background(), q, ReportOptions{EValues: true}); !errors.Is(err, ErrNoSignificance) {
+		t.Fatalf("SearchScheduled: err = %v, want ErrNoSignificance", err)
+	}
+}
+
+func TestReportOptionsValidation(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+	if _, err := cl.Search(q, ReportOptions{TopK: -1}); err == nil {
+		t.Error("negative TopK accepted")
+	}
+	if _, err := cl.Search(q, ReportOptions{EValueTrim: 0.7}); err == nil {
+		t.Error("EValueTrim 0.7 accepted")
+	}
+	if _, err := cl.Search(q, ReportOptions{}, ReportOptions{}); err == nil {
+		t.Error("two ReportOptions accepted")
+	}
+	if err := cl.Submit(q, ReportOptions{TopK: -2}); err == nil {
+		t.Error("stream Submit accepted negative TopK")
+	}
+}
+
+// Score-only and aligned results of the same query must not alias in the
+// serving scheduler's cache, in either direction.
+func TestReportCacheKeysNeverAlias(t *testing.T) {
+	db, _ := SyntheticSwissProt(0.0001, false)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLAARNDCCQEGHIL")
+	ctx := context.Background()
+	plain, err := cl.SearchScheduled(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Significance != nil || plain.Hits[0].Alignment != nil {
+		t.Fatal("score-only result is decorated")
+	}
+	rep := ReportOptions{Alignments: true, EValues: true, TopK: 4}
+	aligned, err := cl.SearchScheduled(ctx, q, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.Significance == nil || len(aligned.Hits) != 4 || aligned.Hits[0].Alignment == nil {
+		t.Fatalf("aligned result undecorated: %+v", aligned.Hits)
+	}
+	// Repeats hit the cache and keep their own shapes.
+	plain2, err := cl.SearchScheduled(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain2.Hits[0].Alignment != nil || plain2.Significance != nil {
+		t.Fatal("score-only repeat served the aligned result")
+	}
+	aligned2, err := cl.SearchScheduled(ctx, q, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned2.Hits[0].Alignment == nil {
+		t.Fatal("aligned repeat served the score-only result")
+	}
+	if hits, _, _ := cl.CacheStats(); hits < 2 {
+		t.Fatalf("repeats were not cache hits (hits=%d)", hits)
+	}
+}
+
+// WriteReport renders a plain score-only result as a bare table, and an
+// aligned one with the alignment blocks.
+func TestWriteReportShapes(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+	plain, err := cl.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, q, db, plain, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "cigar") || strings.Contains(out, "e-value") || strings.Contains(out, "> ") {
+		t.Fatalf("plain report carries report-phase columns:\n%s", out)
+	}
+	aligned, err := cl.Search(q, ReportOptions{Alignments: true, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteReport(&buf, q, db, aligned, 0); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "cigar") || !strings.Contains(out, "Query") || !strings.Contains(out, "Sbjct") {
+		t.Fatalf("aligned report missing alignment blocks:\n%s", out)
+	}
+	if err := WriteReport(&buf, Sequence{}, db, aligned, 0); err == nil {
+		t.Error("zero-value query accepted")
+	}
+	if err := WriteReport(&buf, q, nil, aligned, 0); err == nil {
+		t.Error("nil database accepted")
+	}
+}

@@ -88,6 +88,39 @@ type Hit struct {
 	ID string
 	// Score is the optimal Smith-Waterman score.
 	Score int
+	// Alignment carries the phase-two traceback detail (coordinates,
+	// CIGAR, identities). It is nil unless the search requested
+	// ReportOptions.Alignments and the hit is within the report's top-K.
+	Alignment *HitAlignment
+	// Significance carries the hit's bit score and E-value under the
+	// search's fitted null model; nil unless ReportOptions.EValues.
+	Significance *HitSignificance
+}
+
+// HitAlignment is the traceback decoration of one hit: the aligned
+// segments recovered by re-aligning the query against the subject with the
+// full dynamic-programming matrix (reporting phase two).
+type HitAlignment struct {
+	// QueryStart/QueryEnd and SubjectStart/SubjectEnd delimit the aligned
+	// segments as half-open residue ranges.
+	QueryStart, QueryEnd     int
+	SubjectStart, SubjectEnd int
+	// CIGAR is the alignment path in run-length notation, e.g. "12M2D5M".
+	CIGAR string
+	// Identities counts exactly-matching columns; Columns is the total
+	// alignment length.
+	Identities int
+	Columns    int
+}
+
+// HitSignificance is a hit's statistical significance under the fitted
+// Gumbel null model of its search (see Result.FitSignificance).
+type HitSignificance struct {
+	// BitScore is the raw score on the fitted model's bit scale; EValue
+	// the expected number of equal-or-better chance hits in a database of
+	// this size. E-values well below 1 indicate likely homology.
+	BitScore float64
+	EValue   float64
 }
 
 // Result reports a database search.

@@ -35,6 +35,16 @@ const maxRequestBytes = 16 << 20
 // batched — a trivial denial of service.
 const maxQueryResidues = 65536
 
+// maxResponseHits bounds top_k: the full score list of a half-million-
+// sequence database has no place in a JSON response, whatever the request
+// says.
+const maxResponseHits = 10000
+
+// maxAlignHits caps top_k when align is requested: every reported hit
+// costs an O(query x subject) traceback with a full DP matrix, so the
+// aligned report is bounded far tighter than the score-only one.
+const maxAlignHits = 64
+
 // defaultResponseHits caps the hits serialised per query when a request
 // does not set top_k; the full score list of a half-million-sequence
 // database has no place in a JSON response.
@@ -56,6 +66,27 @@ type HitJSON struct {
 	Index int    `json:"index"`
 	ID    string `json:"id"`
 	Score int    `json:"score"`
+	// Alignment is the traceback detail; present only when the request
+	// set align.
+	Alignment *AlignmentJSON `json:"alignment,omitempty"`
+	// BitScore and EValue are present only when the request set evalue.
+	BitScore *float64 `json:"bit_score,omitempty"`
+	EValue   *float64 `json:"evalue,omitempty"`
+}
+
+// AlignmentJSON is the phase-two traceback detail of one hit.
+type AlignmentJSON struct {
+	// QueryStart/QueryEnd and SubjectStart/SubjectEnd delimit the aligned
+	// segments as half-open residue ranges.
+	QueryStart   int `json:"query_start"`
+	QueryEnd     int `json:"query_end"`
+	SubjectStart int `json:"subject_start"`
+	SubjectEnd   int `json:"subject_end"`
+	// CIGAR is the alignment path ("12M2D5M"); Identities counts
+	// exactly-matching columns out of Columns total.
+	CIGAR      string `json:"cigar"`
+	Identities int    `json:"identities"`
+	Columns    int    `json:"columns"`
 }
 
 // SearchJSON is the /search response and the per-query element of /batch.
@@ -64,6 +95,9 @@ type SearchJSON struct {
 	// Hits is sorted by descending score, truncated to the request's
 	// top_k (10 when unset).
 	Hits []HitJSON `json:"hits"`
+	// Significance summarises the fitted Gumbel null model when the
+	// request set evalue.
+	Significance string `json:"significance,omitempty"`
 	// Cells is the dynamic-programming cell count; SimSeconds and
 	// SimGCUPS the device-model timing; WallSeconds the real host time of
 	// the search that produced this result (shared by every query of its
@@ -86,6 +120,7 @@ type BackendJSON struct {
 	Grants     int64   `json:"grants"`
 	Residues   int64   `json:"residues"`
 	SimSeconds float64 `json:"sim_seconds"`
+	Tracebacks int64   `json:"tracebacks"`
 }
 
 // HealthJSON is the /healthz response.
@@ -154,6 +189,39 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+// decodeStatus maps a body-decoding failure to its status: an oversize
+// body is 413, anything else malformed is 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// reportFor validates the response-shaping fields shared by /search and
+// /batch and resolves them into the library's ReportOptions. topK
+// defaults to defaultResponseHits; score-only requests resolve to the
+// zero ReportOptions so they keep sharing one cache entry across top_k
+// values (trimming happens at serialisation).
+func reportFor(topK int, align, evalue bool) (ReportOptions, int, error) {
+	switch {
+	case topK < 0:
+		return ReportOptions{}, 0, fmt.Errorf("negative top_k %d", topK)
+	case topK > maxResponseHits:
+		return ReportOptions{}, 0, fmt.Errorf("top_k %d exceeds the %d limit", topK, maxResponseHits)
+	case topK == 0:
+		topK = defaultResponseHits
+	}
+	if !align && !evalue {
+		return ReportOptions{}, topK, nil
+	}
+	if align && topK > maxAlignHits {
+		return ReportOptions{}, 0, fmt.Errorf("top_k %d exceeds the %d limit for aligned reports", topK, maxAlignHits)
+	}
+	return ReportOptions{Alignments: align, EValues: evalue, TopK: topK}, topK, nil
+}
+
 // toQuery validates one request query.
 func toQuery(q QueryJSON, pos string) (Sequence, error) {
 	if q.Residues == "" {
@@ -169,7 +237,8 @@ func toQuery(q QueryJSON, pos string) (Sequence, error) {
 	return NewSequence(id, q.Residues), nil
 }
 
-// toSearchJSON trims a result for transport.
+// toSearchJSON trims a result for transport, carrying any phase-two
+// decorations along.
 func toSearchJSON(id string, res *ClusterResult, topK int) SearchJSON {
 	if topK <= 0 {
 		topK = defaultResponseHits
@@ -186,17 +255,41 @@ func toSearchJSON(id string, res *ClusterResult, topK int) SearchJSON {
 		SimGCUPS:    res.SimGCUPS,
 		WallSeconds: res.WallSeconds,
 	}
+	if res.Significance != nil {
+		out.Significance = res.Significance.String()
+	}
 	for i := 0; i < n; i++ {
 		h := res.Hits[i]
-		out.Hits[i] = HitJSON{Index: h.Index, ID: h.ID, Score: h.Score}
+		hj := HitJSON{Index: h.Index, ID: h.ID, Score: h.Score}
+		if h.Alignment != nil {
+			a := h.Alignment
+			hj.Alignment = &AlignmentJSON{
+				QueryStart:   a.QueryStart,
+				QueryEnd:     a.QueryEnd,
+				SubjectStart: a.SubjectStart,
+				SubjectEnd:   a.SubjectEnd,
+				CIGAR:        a.CIGAR,
+				Identities:   a.Identities,
+				Columns:      a.Columns,
+			}
+		}
+		if h.Significance != nil {
+			bits, ev := h.Significance.BitScore, h.Significance.EValue
+			hj.BitScore, hj.EValue = &bits, &ev
+		}
+		out.Hits[i] = hj
 	}
 	return out
 }
 
 // searchRequest is the /search body: one query plus response shaping.
+// align enables the traceback phase (coordinates, CIGAR, identities per
+// hit); evalue the significance fit (bit score and E-value per hit).
 type searchRequest struct {
 	QueryJSON
-	TopK int `json:"top_k"`
+	TopK   int  `json:"top_k"`
+	Align  bool `json:"align"`
+	EValue bool `json:"evalue"`
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +299,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req searchRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("invalid request: %w", err))
 		return
 	}
 	q, err := toQuery(req.QueryJSON, "query")
@@ -214,18 +307,26 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.c.SearchScheduled(r.Context(), q)
+	rep, topK, err := reportFor(req.TopK, req.Align, req.EValue)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.c.SearchScheduled(r.Context(), q, rep)
 	if err != nil {
 		writeError(w, searchStatus(r, err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toSearchJSON(req.ID, res, req.TopK))
+	writeJSON(w, http.StatusOK, toSearchJSON(req.ID, res, topK))
 }
 
-// batchRequest is the /batch body: queries plus response shaping.
+// batchRequest is the /batch body: queries plus response shaping; align
+// and evalue apply to every query of the batch.
 type batchRequest struct {
 	Queries []QueryJSON `json:"queries"`
 	TopK    int         `json:"top_k"`
+	Align   bool        `json:"align"`
+	EValue  bool        `json:"evalue"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -235,11 +336,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req batchRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request: %w", err))
+		writeError(w, decodeStatus(err), fmt.Errorf("invalid request: %w", err))
 		return
 	}
 	if len(req.Queries) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	rep, topK, err := reportFor(req.TopK, req.Align, req.EValue)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject unsatisfiable reports before anything reaches the scheduler,
+	// so one bad batch cannot poison its coalesced neighbours.
+	if err := s.c.checkReport(rep); err != nil {
+		writeError(w, searchStatus(r, err), err)
 		return
 	}
 	queries := make([]Sequence, len(req.Queries))
@@ -262,7 +374,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	tickets := make([]*qsched.Ticket[*ClusterResult], len(queries))
 	for i, q := range queries {
-		t, err := sched.Submit(q)
+		t, err := sched.Submit(reportQuery{seq: q, rep: rep})
 		if err != nil {
 			if errors.Is(err, qsched.ErrClosed) {
 				err = ErrClusterClosed
@@ -279,7 +391,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, searchStatus(r, err), fmt.Errorf("query %d: %w", i, err))
 			return
 		}
-		out.Results[i] = toSearchJSON(req.Queries[i].ID, res, req.TopK)
+		out.Results[i] = toSearchJSON(req.Queries[i].ID, res, topK)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -287,14 +399,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // searchStatus maps a search failure to an HTTP status: a disconnected
 // or timed-out client gets a request-timeout code (unsendable when truly
 // gone, but meaningful under a deadline), a draining cluster the
-// retryable 503, anything else a server-side failure. Both /search and
-// /batch route every failure through here so the two endpoints agree.
+// retryable 503, an E-value request the database cannot satisfy the
+// non-retryable 422, anything else a server-side failure. Both /search
+// and /batch route every failure through here so the two endpoints agree.
 func searchStatus(r *http.Request, err error) int {
 	if r.Context().Err() != nil {
 		return http.StatusRequestTimeout
 	}
 	if errors.Is(err, ErrClusterClosed) {
 		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, ErrNoSignificance) {
+		return http.StatusUnprocessableEntity
 	}
 	return http.StatusInternalServerError
 }
@@ -319,6 +435,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Grants:     bt.Grants,
 			Residues:   bt.Residues,
 			SimSeconds: bt.SimSeconds,
+			Tracebacks: bt.Tracebacks,
 		}
 	}
 	st := s.c.SchedulerStats()

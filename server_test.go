@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -128,6 +129,19 @@ func TestHTTPErrors(t *testing.T) {
 		{"/search", `{"residues":"MKV","unknown_field":1}`, http.StatusBadRequest},
 		{"/batch", `{"queries":[]}`, http.StatusBadRequest},
 		{"/batch", `{"queries":[{"residues":""}]}`, http.StatusBadRequest},
+		// Response-shaping validation: negative and absurd top_k, and an
+		// aligned report over the traceback cap, are client errors.
+		{"/search", `{"residues":"MKV","top_k":-1}`, http.StatusBadRequest},
+		{"/search", `{"residues":"MKV","top_k":10001}`, http.StatusBadRequest},
+		{"/search", `{"residues":"MKV","top_k":65,"align":true}`, http.StatusBadRequest},
+		{"/batch", `{"queries":[{"residues":"MKV"}],"top_k":-5}`, http.StatusBadRequest},
+		{"/batch", `{"queries":[{"residues":"MKV"}],"top_k":65,"align":true}`, http.StatusBadRequest},
+		// top_k exactly at the align cap is fine.
+		{"/search", `{"residues":"MKV","top_k":64,"align":true}`, http.StatusOK},
+		// An E-value fit over the 4-sequence test database cannot work:
+		// the non-retryable 422, not a hard 500.
+		{"/search", `{"residues":"MKV","evalue":true}`, http.StatusUnprocessableEntity},
+		{"/batch", `{"queries":[{"residues":"MKV"}],"evalue":true}`, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
@@ -155,6 +169,80 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("POST /healthz: status %d", resp.StatusCode)
 		}
+	}
+}
+
+// An oversize request body must be refused with 413, on both endpoints.
+func TestHTTPOversizeBody(t *testing.T) {
+	ts, _, _ := testServer(t)
+	huge := `{"residues":"` + strings.Repeat("A", maxRequestBytes+1) + `"}`
+	for _, path := range []string{"/search", "/batch"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s oversize: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+}
+
+// An aligned /batch over a database large enough for the E-value fit
+// returns per-query decorations in request order, and healthz accounts
+// the traceback phase.
+func TestHTTPBatchAligned(t *testing.T) {
+	db, _ := SyntheticSwissProt(0.0001, false) // 54 sequences: fit viable
+	cl, err := NewCluster(db, ClusterOptions{Dist: "dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHTTPHandler(cl))
+	t.Cleanup(func() { ts.Close(); cl.CloseNow() })
+
+	resp, body := postJSON(t, ts.URL+"/batch", map[string]any{
+		"queries": []map[string]any{
+			{"id": "a", "residues": "MKWVLAARNDCCQEGHIL"},
+			{"id": "b", "residues": "WYVKMFPSTWYVARNDAR"},
+		},
+		"top_k": 3, "align": true, "evalue": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchJSON
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 2 || br.Results[0].ID != "a" || br.Results[1].ID != "b" {
+		t.Fatalf("results %+v", br.Results)
+	}
+	for _, sr := range br.Results {
+		if sr.Significance == "" || len(sr.Hits) != 3 {
+			t.Fatalf("query %s: significance %q, %d hits", sr.ID, sr.Significance, len(sr.Hits))
+		}
+		for _, h := range sr.Hits {
+			if h.Alignment == nil || h.Alignment.CIGAR == "" || h.BitScore == nil || h.EValue == nil {
+				t.Fatalf("query %s hit %s missing decorations: %+v", sr.ID, h.ID, h)
+			}
+		}
+	}
+
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var h HealthJSON
+	if err := json.NewDecoder(hres.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	var tracebacks int64
+	for _, b := range h.Backends {
+		tracebacks += b.Tracebacks
+	}
+	if tracebacks != 6 { // 2 queries x top_k 3, never the whole database
+		t.Fatalf("healthz records %d tracebacks, want 6", tracebacks)
 	}
 }
 

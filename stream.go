@@ -48,7 +48,8 @@ type streamSub struct {
 type Stream struct {
 	ctx    context.Context
 	cancel context.CancelFunc
-	sched  *qsched.Scheduler[Sequence, *ClusterResult]
+	sched  *qsched.Scheduler[reportQuery, *ClusterResult]
+	check  func(ReportOptions) error // the cluster's checkReport
 	out    chan StreamResult
 	stop   func() bool // releases the context.AfterFunc registration
 
@@ -60,10 +61,10 @@ type Stream struct {
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	waiting    []Sequence  // submitted, not yet handed to the scheduler
-	subs       []streamSub // in the scheduler, awaiting ordered delivery
-	closed     bool        // no further Submits (Close, CloseNow or ctx cancel)
-	aborted    bool        // CloseNow / ctx cancel: drop instead of drain
+	waiting    []reportQuery // submitted, not yet handed to the scheduler
+	subs       []streamSub   // in the scheduler, awaiting ordered delivery
+	closed     bool          // no further Submits (Close, CloseNow or ctx cancel)
+	aborted    bool          // CloseNow / ctx cancel: drop instead of drain
 	delivering bool
 	outClosed  bool
 }
@@ -90,6 +91,7 @@ func (c *Cluster) NewStream(ctx context.Context) *Stream {
 		ctx:    sctx,
 		cancel: cancel,
 		sched:  c.newScheduler(),
+		check:  c.checkReport,
 		out:    make(chan StreamResult, streamBuffer),
 		window: streamBuffer + maxBatch*maxInFlight,
 	}
@@ -102,29 +104,37 @@ func (c *Cluster) NewStream(ctx context.Context) *Stream {
 // slots are free. Callers hold st.mu.
 func (st *Stream) forwardLocked() {
 	for len(st.waiting) > 0 && len(st.subs) < st.window && !st.aborted {
-		q := st.waiting[0]
-		st.waiting[0] = Sequence{} // release for GC
+		rq := st.waiting[0]
+		st.waiting[0] = reportQuery{} // release for GC
 		st.waiting = st.waiting[1:]
-		t, err := st.sched.Submit(q)
+		t, err := st.sched.Submit(rq)
 		if err != nil {
 			// The scheduler is already torn down (an abort race); the
 			// stream is going away with it.
 			return
 		}
-		st.subs = append(st.subs, streamSub{query: q, ticket: t})
+		st.subs = append(st.subs, streamSub{query: rq.seq, ticket: t})
 	}
 }
 
 // Submit enqueues a query on the stream and returns immediately; the
-// matching StreamResult arrives on Results in submission order. Submit
-// never blocks (the intake queue is unbounded in queries, which cost only
-// a reference each), so the submit-everything-then-drain pattern is safe
-// for any backlog size; the scheduler is fed at most the stream's
-// forwarding window (streamBuffer plus one scheduler pipeline,
-// MaxBatch x MaxInFlight) ahead of the Results consumer, which bounds
-// completed-result memory however large the backlog. Submit fails after
-// Close.
-func (st *Stream) Submit(query Sequence) error {
+// matching StreamResult arrives on Results in submission order. An
+// optional ReportOptions requests the aligned-hit reporting phases for
+// this submission. Submit never blocks (the intake queue is unbounded in
+// queries, which cost only a reference each), so the
+// submit-everything-then-drain pattern is safe for any backlog size; the
+// scheduler is fed at most the stream's forwarding window (streamBuffer
+// plus one scheduler pipeline, MaxBatch x MaxInFlight) ahead of the
+// Results consumer, which bounds completed-result memory however large
+// the backlog. Submit fails after Close.
+func (st *Stream) Submit(query Sequence, report ...ReportOptions) error {
+	rep, err := oneReport(report)
+	if err != nil {
+		return err
+	}
+	if err := st.check(rep); err != nil {
+		return err
+	}
 	if query.impl == nil {
 		return fmt.Errorf("heterosw: zero-value query")
 	}
@@ -133,7 +143,7 @@ func (st *Stream) Submit(query Sequence) error {
 	if st.closed {
 		return fmt.Errorf("heterosw: cluster stream closed")
 	}
-	st.waiting = append(st.waiting, query)
+	st.waiting = append(st.waiting, reportQuery{seq: query, rep: rep})
 	st.forwardLocked()
 	if !st.delivering {
 		st.delivering = true
@@ -278,7 +288,9 @@ func (c *Cluster) defaultStream() *Stream {
 // Submit enqueues a query on the cluster's default streaming session (see
 // Stream.Submit). Independent sessions — with their own ordering and
 // cancellation — come from NewStream.
-func (c *Cluster) Submit(query Sequence) error { return c.defaultStream().Submit(query) }
+func (c *Cluster) Submit(query Sequence, report ...ReportOptions) error {
+	return c.defaultStream().Submit(query, report...)
+}
 
 // Results returns the default streaming session's delivery channel (see
 // Stream.Results).

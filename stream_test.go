@@ -236,6 +236,76 @@ func TestStreamOrderedDeliveryUnderConcurrency(t *testing.T) {
 	}
 }
 
+// Aligned searches through NewStream: mixed aligned and score-only
+// submissions of the same queries must deliver in submission order with
+// the right decorations (an aligned result and a score-only result of the
+// same residues must never alias through the shared cache), and every
+// goroutine must exit once the stream drains. Run under -race in CI.
+func TestStreamAlignedOrderedNoLeak(t *testing.T) {
+	db, _ := SyntheticSwissProt(0.0001, false) // 54 sequences: E-value fit viable
+	queries := shortQueries(6, 30)
+	base := runtime.NumGoroutine()
+	cl, err := NewCluster(db, ClusterOptions{
+		Dist:        "dynamic",
+		MaxInFlight: 4,
+		MaxBatch:    4,
+		BatchWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cl.NewStream(context.Background())
+	const n = 24
+	rep := ReportOptions{Alignments: true, EValues: true, TopK: 3}
+	for i := 0; i < n; i++ {
+		q := queries[i%len(queries)]
+		var err error
+		if i%2 == 0 {
+			err = st.Submit(q, rep) // aligned
+		} else {
+			err = st.Submit(q) // score-only, same residues as i-1
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	next := 0
+	for sr := range st.Results() {
+		if sr.Err != nil {
+			t.Fatalf("result %d: %v", sr.Index, sr.Err)
+		}
+		if sr.Index != next {
+			t.Fatalf("result %d arrived out of order (want %d)", sr.Index, next)
+		}
+		if sr.Index%2 == 0 {
+			if len(sr.Result.Hits) != 3 || sr.Result.Significance == nil {
+				t.Fatalf("aligned result %d: %d hits, significance %v",
+					sr.Index, len(sr.Result.Hits), sr.Result.Significance)
+			}
+			for _, h := range sr.Result.Hits {
+				if h.Alignment == nil || h.Alignment.CIGAR == "" || h.Significance == nil {
+					t.Fatalf("aligned result %d hit %s missing decorations", sr.Index, h.ID)
+				}
+			}
+		} else {
+			if sr.Result.Significance != nil {
+				t.Fatalf("score-only result %d carries a significance model (cache aliasing)", sr.Index)
+			}
+			for _, h := range sr.Result.Hits {
+				if h.Alignment != nil || h.Significance != nil {
+					t.Fatalf("score-only result %d hit %s is decorated (cache aliasing)", sr.Index, h.ID)
+				}
+			}
+		}
+		next++
+	}
+	if next != n {
+		t.Fatalf("drained %d of %d results", next, n)
+	}
+	waitGoroutines(t, base)
+}
+
 // Repeated queries must be served from the cluster's LRU cache, shared
 // between the scheduled entry points.
 func TestSchedulerCacheServesRepeats(t *testing.T) {
