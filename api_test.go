@@ -374,3 +374,56 @@ func TestStripedIntraAPIEquivalence(t *testing.T) {
 		t.Fatal("bogus intra kernel accepted")
 	}
 }
+
+// The "-8bit" variant spec must run the precision ladder end to end:
+// identical scores, per-tier overflow accounting, and twice the lanes on
+// every device model.
+func TestSearchLadderVariant(t *testing.T) {
+	db, _ := tinyDB(t)
+	q := NewSequence("q", "MKWVLA")
+	ref, err := db.Search(q, Options{Variant: VariantIntrinsicSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []string{VariantIntrinsicSP8, VariantIntrinsicQP8} {
+		for _, dev := range []DeviceKind{DeviceXeon, DevicePhi} {
+			got, err := db.Search(q, Options{Variant: variant, Device: dev})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", variant, dev, err)
+			}
+			for i := range ref.Scores {
+				if got.Scores[i] != ref.Scores[i] {
+					t.Fatalf("%s on %s: seq %d score %d, want %d", variant, dev, i, got.Scores[i], ref.Scores[i])
+				}
+			}
+			if got.Overflows8 != 0 || got.Overflows != 0 {
+				t.Fatalf("%s on %s: unexpected escalations %d/%d on a tiny database", variant, dev, got.Overflows8, got.Overflows)
+			}
+		}
+	}
+
+	// A subject over the biased byte rail escalates once; the counter
+	// surfaces at the API level.
+	sat, err := NewDatabase([]Sequence{
+		NewSequence("sat", strings.Repeat("W", 23)),
+		NewSequence("tiny", "ARND"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sat.Search(NewSequence("q", strings.Repeat("W", 23)), Options{Variant: VariantIntrinsicSP8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0] != 11*23 {
+		t.Fatalf("saturating subject scored %d, want %d", res.Scores[0], 11*23)
+	}
+	if res.Overflows8 != 1 || res.Overflows != 0 {
+		t.Fatalf("escalations %d/%d, want 1/0", res.Overflows8, res.Overflows)
+	}
+
+	// The suffix is rejected on non-intrinsic variants.
+	if _, err := db.Search(q, Options{Variant: "simd-SP-8bit"}); err == nil {
+		t.Fatal("simd-SP-8bit accepted")
+	}
+}

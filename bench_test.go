@@ -202,6 +202,47 @@ func BenchmarkKernelIntrinsicSPBlocked(b *testing.B) {
 	newKernelBench(b, core.IntrinsicSP, 16, true).run(b)
 }
 
+// Precision-ladder microbenchmark: the 8-bit first pass vs the 16-bit
+// pass over short-sequence lane groups — the packing the ladder exists
+// for, since a length-sorted protein database is dominated by subjects
+// whose scores provably fit a byte. Wall Mcells/s reports the emulation's
+// host throughput; sim-GCUPS is the deterministic device-model number the
+// regression gate compares (byte lanes halve the group count per residue,
+// so the model shows the ~2x the real hardware trick delivers).
+func benchLadder(b *testing.B, prec core.Precision) {
+	seqs := datagen.Generate(datagen.Config{Sequences: 512, Seed: 42, MeanLen: 120, MaxLen: 240})
+	db := seqdb.New(seqs, true)
+	dev := device.Xeon()
+	params := core.Params{Variant: core.IntrinsicSP, GapOpen: 10, GapExtend: 2, Blocked: true, Prec: prec}
+	lanes := dev.Lanes
+	if prec == core.Prec8 {
+		lanes = dev.ByteLanes()
+	}
+	groups, _ := db.Partition(lanes, 0)
+	q := profile.NewQuery(datagen.GenerateQueries(7)[2].Residues, submat.BLOSUM62) // 222 aa
+	bufs := core.NewBuffers(lanes)
+	cells := int64(q.Len()) * db.Residues()
+	threads := dev.MaxThreads()
+	class := params.KernelClass()
+	var cycles float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles = 0
+		for _, g := range groups {
+			_, st := core.AlignGroup(q, g, params, bufs)
+			shape := device.Shape{Width: g.Width, Lanes: g.Lanes, Residues: g.Residues}
+			cycles += dev.GroupCost(class, q.Len(), shape, threads, st.OverflowCells)
+		}
+	}
+	b.StopTimer()
+	simSeconds := cycles / (float64(threads) * dev.ThreadRate(threads))
+	b.ReportMetric(float64(cells)/simSeconds/1e9, "sim-GCUPS")
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+func BenchmarkKernelLadderShort8(b *testing.B)  { benchLadder(b, core.Prec8) }
+func BenchmarkKernelLadderShort16(b *testing.B) { benchLadder(b, core.Prec16) }
+
 // Intra-task kernel microbenchmarks: Farrar's striped layout vs the
 // anti-diagonal wavefront on one long pair (the two long-sequence engines).
 func benchIntra(b *testing.B, striped bool) {

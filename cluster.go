@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -22,6 +23,20 @@ var ErrClusterClosed = errors.New("heterosw: cluster closed")
 // over a database too small or too degenerate to fit the Gumbel null model
 // (the fit needs a few dozen database sequences).
 var ErrNoSignificance = errors.New("heterosw: significance fit unavailable")
+
+// MaxAlignHits caps how many hits one search call may decorate with
+// tracebacks (ReportOptions.Alignments): every aligned hit costs an
+// O(query x subject) full-matrix re-alignment, so the aligned report is
+// bounded far tighter than the score-only one. The cap is enforced at the
+// library boundary — the HTTP front end merely mirrors it — so an
+// over-eager ReportOptions.TopK (or a huge cluster-wide Options.TopK)
+// fails fast with ErrTooManyAlignments instead of re-aligning an arbitrary
+// slice of the database.
+const MaxAlignHits = 64
+
+// ErrTooManyAlignments is returned when an aligned report would traceback
+// more than MaxAlignHits subjects.
+var ErrTooManyAlignments = errors.New("heterosw: aligned report exceeds MaxAlignHits tracebacks")
 
 // ClusterOptions configures a Cluster over a database.
 //
@@ -216,6 +231,24 @@ func (c *Cluster) checkReport(rep ReportOptions) error {
 	if rep.EValues {
 		if err := stats.FitViable(c.db.Len(), rep.EValueTrim); err != nil {
 			return fmt.Errorf("%w (%v)", ErrNoSignificance, err)
+		}
+	}
+	if rep.Alignments {
+		// The K the traceback phase would actually align: the per-call
+		// override, else the cluster-wide truncation, else the default
+		// bound — capped by the database itself.
+		k := rep.TopK
+		if k <= 0 {
+			k = c.dopt.Search.TopK
+		}
+		if k <= 0 {
+			k = defaultReportHits
+		}
+		if k > c.db.Len() {
+			k = c.db.Len()
+		}
+		if k > MaxAlignHits {
+			return fmt.Errorf("%w (%d requested, cap %d)", ErrTooManyAlignments, k, MaxAlignHits)
 		}
 	}
 	return nil
@@ -444,6 +477,13 @@ func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResu
 	if rep == (ReportOptions{}) {
 		return nil
 	}
+	if rep.TopK > 0 && rep.TopK > len(res.Hits) && len(res.Hits) < len(res.Scores) {
+		// The score pass truncated the hit list to the cluster-wide
+		// Options.TopK before this call's larger K was seen; the full
+		// score list is still here, so re-select the top hits rather than
+		// silently under-delivering.
+		res.Hits = c.hitsFromScores(res.Scores)
+	}
 	if rep.TopK > 0 && rep.TopK < len(res.Hits) {
 		res.Hits = res.Hits[:rep.TopK]
 	} else if (rep.Alignments || rep.EValues) && rep.TopK <= 0 &&
@@ -492,6 +532,19 @@ func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResu
 		}
 	}
 	return nil
+}
+
+// hitsFromScores rebuilds the full descending hit list from a result's
+// database-order score list, with the same stable tie order (database
+// order) as the score pass's own sort, so a prefix of it is exactly what a
+// larger cluster-wide TopK would have returned.
+func (c *Cluster) hitsFromScores(scores []int) []Hit {
+	hits := make([]Hit, len(scores))
+	for i, s := range scores {
+		hits[i] = Hit{Index: i, ID: c.db.Seq(i).ID(), Score: s}
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
+	return hits
 }
 
 // cacheKey derives the scheduler dedup/cache key of a query: the cluster's

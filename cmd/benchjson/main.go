@@ -1,16 +1,27 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // benchmark artifact, so CI can publish machine-readable performance data
 // points (GCUPS and queries/s) per commit and the perf trajectory of the
-// repository has actual data behind it.
+// repository has actual data behind it — and diffs two such artifacts so
+// CI can fail on a throughput regression.
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'Kernel|Stream' -benchtime=1x . | benchjson -out BENCH.json
+//	benchjson -diff [-max-regress 0.20] BENCH_old.json BENCH_new.json
 //
 // Standard ns/op values and every custom metric (Mcells/s, sim-GCUPS,
 // queries/s, ...) are carried through verbatim; two normalised fields,
 // gcups and queries_per_sec, are derived where the metrics allow so
-// downstream tooling does not need to know each benchmark's unit.
+// downstream tooling does not need to know each benchmark's unit. A
+// gcups_source field records whether the normalised value came from a
+// deterministic simulated metric ("sim") or from host wall time ("wall").
+//
+// Diff mode compares the gcups of benchmarks present in both artifacts.
+// Only "sim"-sourced values gate: they come from the device models and are
+// identical on any machine, so a drop is a real cost-model or kernel
+// regression, not runner noise. Wall-sourced values are printed for
+// information only. The exit status is 1 when any gated benchmark regressed
+// by more than -max-regress (a fraction; 0.20 = 20%).
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,6 +46,10 @@ type Benchmark struct {
 	// metric. Zero when the benchmark reports neither.
 	GCUPS         float64 `json:"gcups,omitempty"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	// GCUPSSource is "sim" when GCUPS came from a simulated device-model
+	// metric (deterministic across machines) and "wall" when it came from
+	// host wall-clock throughput; empty when GCUPS is zero.
+	GCUPSSource string `json:"gcups_source,omitempty"`
 }
 
 // Artifact is the emitted document.
@@ -68,10 +84,18 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[unit] = v
 		switch {
 		case unit == "GCUPS" || strings.HasSuffix(unit, "-GCUPS"):
+			// Simulated metrics always win over wall-derived ones. The
+			// figure benchmarks' plain "GCUPS" is device-model output too.
 			b.GCUPS = v
+			if strings.HasPrefix(unit, "wall") {
+				b.GCUPSSource = "wall"
+			} else {
+				b.GCUPSSource = "sim"
+			}
 		case unit == "Mcells/s" || strings.HasSuffix(unit, "-McUPS"):
-			if b.GCUPS == 0 {
+			if b.GCUPSSource != "sim" {
 				b.GCUPS = v / 1000
+				b.GCUPSSource = "wall"
 			}
 		case unit == "queries/s":
 			b.QueriesPerSec = v
@@ -80,9 +104,85 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+func readArtifact(path string) (*Artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+// diff compares two artifacts on the benchmarks they share, gating on
+// "sim"-sourced gcups. It returns the number of gated regressions beyond
+// maxRegress.
+func diff(oldArt, newArt *Artifact, maxRegress float64) int {
+	oldBy := make(map[string]Benchmark, len(oldArt.Benchmarks))
+	for _, b := range oldArt.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(newArt.Benchmarks))
+	for _, b := range newArt.Benchmarks {
+		if _, ok := oldBy[b.Name]; ok {
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+	newBy := make(map[string]Benchmark, len(newArt.Benchmarks))
+	for _, b := range newArt.Benchmarks {
+		newBy[b.Name] = b
+	}
+	regressions := 0
+	fmt.Printf("%-40s %12s %12s %8s  %s\n", "benchmark", "old gcups", "new gcups", "delta", "verdict")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		if o.GCUPS == 0 || n.GCUPS == 0 {
+			continue
+		}
+		delta := (n.GCUPS - o.GCUPS) / o.GCUPS
+		verdict := "ok"
+		switch {
+		case o.GCUPSSource != "sim" || n.GCUPSSource != "sim":
+			verdict = "info (wall-clock, not gated)"
+		case delta < -maxRegress:
+			verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", maxRegress*100)
+			regressions++
+		}
+		fmt.Printf("%-40s %12.3f %12.3f %+7.1f%%  %s\n", name, o.GCUPS, n.GCUPS, delta*100, verdict)
+	}
+	return regressions
+}
+
 func main() {
 	out := flag.String("out", "", "output file (stdout when empty)")
+	diffMode := flag.Bool("diff", false, "compare two artifacts: benchjson -diff old.json new.json")
+	maxRegress := flag.Float64("max-regress", 0.20, "with -diff: maximum tolerated fractional drop in simulated GCUPS")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifact paths")
+			os.Exit(2)
+		}
+		oldArt, err := readArtifact(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newArt, err := readArtifact(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if n := diff(oldArt, newArt, *maxRegress); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d simulated-GCUPS regression(s) beyond %.0f%%\n", n, *maxRegress*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	art := Artifact{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	sc := bufio.NewScanner(os.Stdin)

@@ -41,6 +41,7 @@ func main() {
 		devices = flag.String("devices", "", "cluster mode: comma-separated roster (e.g. xeon,phi,phi)")
 		dist    = flag.String("dist", "", "cluster mode: compare only this distribution (default: all)")
 		qlen    = flag.Int("qlen", 1000, "cluster mode: query length")
+		variant = flag.String("variant", "intrinsic-SP", "cluster mode: kernel variant spec (append -8bit for the precision ladder)")
 	)
 	flag.Parse()
 
@@ -58,7 +59,7 @@ func main() {
 		if *csv || *summary {
 			fatal(fmt.Errorf("-csv and -summary are not supported with -devices (cluster mode prints one fixed table)"))
 		}
-		if err := clusterBench(out, *devices, *dist, *scale, *qlen); err != nil {
+		if err := clusterBench(out, *devices, *dist, *variant, *scale, *qlen); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,7 +103,7 @@ func main() {
 // clusterBench compares workload-distribution strategies for a device
 // roster at shape level: the full database is planned, never executed, so
 // the comparison runs in milliseconds at any scale.
-func clusterBench(out io.Writer, roster, only string, scale float64, queryLen int) error {
+func clusterBench(out io.Writer, roster, only, variant string, scale float64, queryLen int) error {
 	models := device.Devices()
 	var backends []core.Backend
 	var names []string
@@ -131,13 +132,17 @@ func clusterBench(out io.Writer, roster, only string, scale float64, queryLen in
 		}
 		dists = []core.Distribution{d}
 	}
+	v, prec, err := core.ParseVariantSpec(variant)
+	if err != nil {
+		return err
+	}
 	opt := core.DispatchOptions{Search: core.SearchOptions{
-		Params:   core.Params{Variant: core.IntrinsicSP, GapOpen: 10, GapExtend: 2, Blocked: true},
+		Params:   core.Params{Variant: v, GapOpen: 10, GapExtend: 2, Blocked: true, Prec: prec},
 		Schedule: sched.Dynamic,
 	}}
 
-	fmt.Fprintf(out, "# cluster: %s over %d sequences (%d residues), query %d aa\n",
-		roster, len(lengths), residues, queryLen)
+	fmt.Fprintf(out, "# cluster: %s over %d sequences (%d residues), query %d aa, variant %s\n",
+		roster, len(lengths), residues, queryLen, core.VariantSpec(v, prec))
 	fmt.Fprintf(out, "# static shares are model-balanced (OptimalShares); GCUPS is simulated throughput\n\n")
 	fmt.Fprintf(out, "%-8s %12s %10s", "dist", "makespan s", "GCUPS")
 	for _, n := range names {

@@ -36,7 +36,7 @@ func main() {
 		dist       = flag.String("dist", "static", "cluster workload distribution with -devices: static, dynamic, guided")
 		shares     = flag.String("shares", "", "comma-separated static residue shares with -devices (model-balanced when empty)")
 		device     = flag.String("device", "xeon", "device model: xeon or phi")
-		variant    = flag.String("variant", "intrinsic-SP", "kernel variant: no-vec-QP, no-vec-SP, simd-QP, simd-SP, intrinsic-QP, intrinsic-SP")
+		variant    = flag.String("variant", "intrinsic-SP", "kernel variant: no-vec-QP, no-vec-SP, simd-QP, simd-SP, intrinsic-QP, intrinsic-SP; append -8bit to an intrinsic variant for the adaptive 8/16/32-bit scoring ladder")
 		matrix     = flag.String("matrix", "BLOSUM62", "substitution matrix: BLOSUM45/50/62/80, PAM250")
 		gapOpen    = flag.Int("gapopen", 10, "gap open penalty q (gap of length x costs q + r*x)")
 		gapExtend  = flag.Int("gapextend", 2, "gap extension penalty r")
@@ -160,8 +160,8 @@ func main() {
 
 	fmt.Printf("performance: %.2f GCUPS simulated (%.4fs on model), %.3f GCUPS wall (%v real)\n",
 		res.SimGCUPS, res.SimSeconds, res.WallGCUPS, elapsed.Round(time.Millisecond))
-	fmt.Printf("cells: %d, simulated threads: %d, overflow escalations: %d\n\n",
-		res.Cells, res.Threads, res.Overflows)
+	fmt.Printf("cells: %d, simulated threads: %d, overflow escalations: %d to 16-bit, %d to 32-bit\n\n",
+		res.Cells, res.Threads, res.Overflows8, res.Overflows)
 
 	fmt.Printf("%4s %-16s %7s\n", "#", "subject", "score")
 	for i, h := range res.Hits {

@@ -8,9 +8,12 @@
 //     traceback for pairwise use — see Align, Score and ScoreBanded;
 //   - a parallel database-search engine with the paper's six kernel
 //     variants ({no-vec, guided-simd, intrinsic} x {query profile, score
-//     profile}), cache blocking, 16-bit saturating arithmetic with 32-bit
-//     overflow escalation, and intra-task handling of extremely long
-//     subjects — see Database.Search;
+//     profile}), cache blocking, an adaptive precision ladder (an 8-bit
+//     biased first pass with twice the lanes per vector word, escalating
+//     saturated lanes 8 -> 16 -> 32 bits; select it with the
+//     "intrinsic-SP-8bit" / "intrinsic-QP-8bit" variant names), and
+//     intra-task handling of extremely long subjects — see
+//     Database.Search;
 //   - the heterogeneous CPU+coprocessor execution of the paper's
 //     Algorithm 2, with a static workload split and overlapped offload —
 //     see Database.SearchHetero;

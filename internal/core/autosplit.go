@@ -20,6 +20,13 @@ func shapeCosts(lengths []int, m int, dev *device.Model, opt SearchOptions) (cos
 	}
 	class := opt.Params.KernelClass()
 	lanes := dev.Lanes
+	if class.EightBit {
+		// The ladder's 8-bit first pass packs byte lanes: twice as many
+		// subjects per group, half as many groups to schedule. (The cost
+		// estimate optimistically assumes no escalation recomputes; over a
+		// realistic protein database the saturating tail is negligible.)
+		lanes = dev.ByteLanes()
+	}
 	longThr := opt.LongSeqThreshold
 	switch {
 	case longThr < 0 || class.Scalar:

@@ -170,9 +170,17 @@ func (e *Engine) Search(query *sequence.Sequence, opt SearchOptions) (*Result, e
 		return nil, fmt.Errorf("core: %d threads exceeds %s's %d hardware threads",
 			threads, e.dev.Short, e.dev.MaxThreads())
 	}
+	qp := profile.NewQuery(query.Residues, opt.matrix())
+	// The 8-bit first pass doubles the lanes per vector word; it needs the
+	// biased byte profiles, so a matrix whose score range exceeds a byte
+	// silently starts the ladder at 16 bits instead.
+	prec8 := opt.Prec == Prec8 && opt.Variant.Vec() == VecIntrinsic && qp.Bias8Viable()
 	lanes := e.dev.Lanes
-	if opt.Variant.Vec() == VecNone {
+	switch {
+	case opt.Variant.Vec() == VecNone:
 		lanes = 1
+	case prec8:
+		lanes = e.dev.ByteLanes()
 	}
 	longThr := opt.LongSeqThreshold
 	switch {
@@ -185,8 +193,8 @@ func (e *Engine) Search(query *sequence.Sequence, opt SearchOptions) (*Result, e
 	}
 	part := e.partitionFor(lanes, longThr)
 	groups, long := part.groups, part.long
-	qp := profile.NewQuery(query.Residues, opt.matrix())
 	class := opt.kernelClass()
+	class.EightBit = prec8
 	m := qp.Len()
 
 	workers := opt.Workers
@@ -221,15 +229,15 @@ func (e *Engine) Search(query *sequence.Sequence, opt SearchOptions) (*Result, e
 		// Long sequences: intra-task kernel, one chunk per sequence.
 		idx := long[i-len(groups)]
 		subject := e.db.Seq(idx).Residues
-		if opt.StripedIntra {
-			scores[idx] = alignPairStriped(qp, subject, opt.Params, bufs[worker])
-		} else {
-			scores[idx] = alignPairIntra(qp, subject, opt.Params, bufs[worker])
-		}
 		cells := int64(m) * int64(len(subject))
 		st := Stats{
 			Cells: cells, PaddedCells: cells, IntraCells: cells,
 			Columns: int64(len(subject)), Alignments: 1, Groups: 1,
+		}
+		if opt.StripedIntra {
+			scores[idx] = alignPairStripedLadder(qp, subject, opt.Params, prec8, bufs[worker], &st)
+		} else {
+			scores[idx] = alignPairIntra(qp, subject, opt.Params, bufs[worker])
 		}
 		statsPer[worker].Add(st)
 		shape := device.Shape{Width: len(subject), Lanes: 1, Residues: int64(len(subject)), Intra: true}

@@ -21,6 +21,12 @@ type Params struct {
 	// O(query length).
 	Blocked   bool
 	BlockRows int
+	// Prec selects the first-pass precision of the intrinsic kernels:
+	// Prec16 (the default) is the classic 16-bit pass with 32-bit
+	// escalation; Prec8 puts an 8-bit biased pass in front, doubling the
+	// lanes per vector word and escalating saturated lanes 8 -> 16 -> 32.
+	// Ignored by the scalar and guided kernels (always 32-bit).
+	Prec Precision
 }
 
 // DefaultBlockRows is the query-tile height used when Params.Blocked is set
@@ -44,6 +50,12 @@ func (p Params) Validate() error {
 	if p.GapOpen+p.GapExtend > 16384 {
 		return fmt.Errorf("core: gap penalties q+r = %d exceed the supported maximum 16384", p.GapOpen+p.GapExtend)
 	}
+	if p.Prec != Prec16 && p.Prec != Prec8 {
+		return fmt.Errorf("core: invalid precision %d", int(p.Prec))
+	}
+	if p.Prec == Prec8 && p.Variant.Vec() != VecIntrinsic {
+		return fmt.Errorf("core: the 8-bit first pass requires an intrinsic variant, got %v", p.Variant)
+	}
 	return nil
 }
 
@@ -56,6 +68,7 @@ func (p Params) KernelClass() device.KernelClass {
 		QueryProfile: p.Variant.Prof() == ProfQuery,
 		Blocked:      p.Blocked,
 		BlockRows:    p.BlockRows,
+		EightBit:     p.Prec == Prec8 && p.Variant.Vec() == VecIntrinsic,
 	}
 }
 
@@ -80,6 +93,15 @@ type Buffers struct {
 	hb16, fb16            []int16 // block boundary rows, width * lanes
 	f16, diag16, up16     vec.I16 // lane temporaries
 	sc16, t16, u16, max16 vec.I16
+
+	// 8-bit state for the ladder's first pass.
+	h8, e8           []uint8 // column state, (rows+1) * lanes
+	hb8, fb8         []uint8 // block boundary rows, width * lanes
+	f8, diag8        vec.U8  // lane temporaries
+	sc8, max8        vec.U8
+	sr8              *profile.ScoreRows8
+	lane16H, lane16E []int16 // 16-bit scalar recompute state, query length + 1
+	striped8         []uint8 // striped 8-bit profile scratch
 
 	// 32-bit state for the guided kernels.
 	h32, e32     []int32
@@ -114,8 +136,20 @@ func NewBuffers(lanes int) *Buffers {
 		up32:   make([]int32, lanes),
 		sr:     profile.NewScoreRows(lanes),
 		idx:    make([]uint8, lanes),
+		f8:     make(vec.U8, lanes),
+		diag8:  make(vec.U8, lanes),
+		sc8:    make(vec.U8, lanes),
+		max8:   make(vec.U8, lanes),
+		sr8:    profile.NewScoreRows8(lanes),
 	}
 	return b
+}
+
+func grow8(p *[]uint8, n int) []uint8 {
+	if cap(*p) < n {
+		*p = make([]uint8, n)
+	}
+	return (*p)[:n]
 }
 
 func grow16(p *[]int16, n int) []int16 {
@@ -146,6 +180,9 @@ func AlignGroup(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([
 	case VecGuided:
 		return alignGroupGuided(q, g, p, buf)
 	default:
+		if p.Prec == Prec8 && q.Bias8Viable() {
+			return alignGroupIntrinsic8(q, g, p, buf)
+		}
 		return alignGroupIntrinsic(q, g, p, buf)
 	}
 }

@@ -23,6 +23,16 @@ const (
 	fuzzMaxSeqs   = 64
 )
 
+// fuzzLadderMaxCells bounds the inputs that additionally run the 8-bit
+// ladder passes. A fully saturating input pays up to three full passes per
+// subject (8, 16 and 32 bits), so running the ladder on the 3000-residue
+// int16-saturation seed would triple that seed's cost and trip the fuzz
+// engine's per-input hang budget under coverage instrumentation. Every
+// byte-rail boundary lives at scores of a few hundred — a few dozen
+// residues — so the cap loses no 8-bit coverage; the giant-input ladder
+// chain is pinned deterministically by TestLadderEscalationTiers instead.
+const fuzzLadderMaxCells = 2_000_000
+
 // fuzzSeqDelim separates database sequences in the raw fuzz input.
 const fuzzSeqDelim = 0xFF
 
@@ -96,6 +106,22 @@ func FuzzKernelParity(f *testing.F) {
 	f.Add([]byte{}, []byte("ARND"), uint8(1), paperPens, uint8(3))                                 // empty query
 	f.Add([]byte("AAAA"), bytes.Repeat([]byte{0, fuzzSeqDelim}, 40), uint8(7), uint8(5), uint8(7)) // many tiny sequences, 64 lanes
 
+	// int8-saturation seeds for the 8-bit ladder: W self-alignments score
+	// 11/residue, so these straddle the signed-byte boundary (121 vs 132
+	// over 127) and the biased unsigned rail (242 vs 253 over 255-bias=251)
+	// — the group-safety bound and the escalation test both flip inside
+	// this window. Zero penalties keep saturated H plateaus alive through
+	// padding, and a 1-residue pair against a saturating neighbour pins
+	// per-lane (not per-group) escalation.
+	w11, w12 := bytes.Repeat([]byte{w}, 11), bytes.Repeat([]byte{w}, 12)
+	w22, w23 := bytes.Repeat([]byte{w}, 22), bytes.Repeat([]byte{w}, 23)
+	f.Add(w11, append(append([]byte{}, w11...), append([]byte{fuzzSeqDelim}, w12...)...), uint8(4), paperPens, uint8(0)) // straddles 127
+	f.Add(w12, w12, uint8(0), paperPens, uint8(1))                                                                       // just over 127
+	f.Add(w23, append(append([]byte{}, w22...), append([]byte{fuzzSeqDelim}, w23...)...), uint8(4), paperPens, uint8(2)) // straddles 255-bias
+	f.Add(w23, w23, uint8(2), uint8(0), uint8(0))                                                                        // 8-bit rail, zero penalties
+	f.Add(w23, append(append([]byte{}, w23...), fuzzSeqDelim, w), uint8(1), paperPens, uint8(0))                         // saturating lane beside a 1-residue lane
+	f.Add(wRun[:256], wRun[:256], uint8(6), uint8(0), uint8(3))                                                          // deep zero-penalty plateau over the rail
+
 	lanesTable := []int{1, 2, 3, 4, 8, 16, 32, 64}
 	blockTable := []int{0, 1, 7, 64}
 
@@ -130,26 +156,52 @@ func FuzzKernelParity(f *testing.F) {
 			}
 		}
 
-		for _, v := range []Variant{NoVecSP, GuidedQP, IntrinsicSP} {
+		ladderOK := int64(len(query))*db.Residues() <= fuzzLadderMaxCells
+		specs := []struct {
+			v    Variant
+			prec Precision
+		}{
+			{NoVecSP, Prec16},
+			{GuidedQP, Prec16},
+			{IntrinsicSP, Prec16},
+			{IntrinsicSP, Prec8},
+			{IntrinsicQP, Prec8},
+		}
+		for _, s := range specs {
+			if s.prec == Prec8 && !ladderOK {
+				continue
+			}
 			pv := p
-			pv.Variant = v
+			pv.Variant = s.v
+			pv.Prec = s.prec
 			vl := lanes
-			if v.Vec() == VecNone {
+			if s.v.Vec() == VecNone {
 				vl = 1
 			}
 			got, _ := runVariantQuiet(db, qp, pv, vl)
-			check(v.String(), got)
+			check(VariantSpec(s.v, s.prec), got)
 		}
 
-		buf := NewBuffers(stripedLanes)
+		buf := NewBuffers(stripedLanes8)
 		intra := make([]int32, db.Len())
 		striped := make([]int32, db.Len())
+		ladder := make([]int32, db.Len())
+		p8 := p
+		p8.Variant = IntrinsicSP
+		p8.Prec = Prec8
 		for i := 0; i < db.Len(); i++ {
 			subject := db.Seq(i).Residues
 			intra[i] = alignPairIntra(qp, subject, p, buf)
 			striped[i] = alignPairStriped(qp, subject, p, buf)
+			if ladderOK {
+				var st Stats
+				ladder[i] = alignPairStripedLadder(qp, subject, p8, qp.Bias8Viable(), buf, &st)
+			}
 		}
 		check("intra-wavefront", intra)
 		check("intra-striped", striped)
+		if ladderOK {
+			check("intra-striped-8bit", ladder)
+		}
 	})
 }

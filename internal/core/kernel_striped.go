@@ -63,12 +63,25 @@ func vshift(dst, src vec.I16, boundary int16) {
 	dst[0] = boundary
 }
 
-// alignPairStriped computes the Smith-Waterman score of one pair.
+// alignPairStriped computes the Smith-Waterman score of one pair,
+// recomputing saturated scores exactly with the 32-bit anti-diagonal
+// kernel.
 func alignPairStriped(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) int32 {
+	best, saturated := alignPairStriped16(q, subject, p, buf)
+	if saturated {
+		return alignPairIntra(q, subject, p, buf)
+	}
+	return best
+}
+
+// alignPairStriped16 is the 16-bit striped pass; the second return value
+// reports int16 saturation (the score may be clipped and the caller must
+// recompute at 32 bits).
+func alignPairStriped16(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) (int32, bool) {
 	m := q.Len()
 	n := len(subject)
 	if m == 0 || n == 0 {
-		return 0
+		return 0, false
 	}
 	L := stripedLanes
 	t := (m + L - 1) / L
@@ -156,9 +169,169 @@ func alignPairStriped(q *profile.Query, subject []alphabet.Code, p Params, buf *
 	}
 
 	best := vec.HorizontalMax(vMax)
-	if best == vec.MaxI16 {
-		// Saturated: recompute exactly in 32 bits.
-		return alignPairIntra(q, subject, p, buf)
+	return int32(best), best == vec.MaxI16
+}
+
+// alignPairStripedLadder runs the striped kernel for one pair at the
+// requested first-pass precision, escalating on saturation — 8-bit striped
+// to 16-bit striped to the 32-bit anti-diagonal kernel — and folding the
+// per-tier escalation counts and recomputation cells into st.
+func alignPairStripedLadder(q *profile.Query, subject []alphabet.Code, p Params, prec8 bool, buf *Buffers, st *Stats) int32 {
+	m := q.Len()
+	cells := int64(m) * int64(len(subject))
+	if prec8 {
+		s, sat8 := alignPairStriped8(q, subject, p, buf)
+		if !sat8 {
+			return s
+		}
+		st.Overflows8++
+		st.OverflowCells += cells
 	}
-	return int32(best)
+	s, sat16 := alignPairStriped16(q, subject, p, buf)
+	if !sat16 {
+		return s
+	}
+	st.Overflows++
+	st.OverflowCells += cells
+	return alignPairIntra(q, subject, p, buf)
+}
+
+// stripedLanes8 is the byte-lane count of the 8-bit striped pass: the same
+// 256-bit register as stripedLanes, twice the lanes.
+const stripedLanes8 = 32
+
+// stripedProfile8 builds the biased uint8 striped query profile; padding
+// positions hold 0, the strongest representable penalty. Layout matches
+// stripedProfile. Only valid when q.Bias8Viable().
+func stripedProfile8(q *profile.Query, dst []uint8, t int) []uint8 {
+	L := stripedLanes8
+	need := profile.TableWidth * t * L
+	if cap(dst) < need {
+		dst = make([]uint8, need)
+	}
+	dst = dst[:need]
+	m := q.Len()
+	for e := 0; e < profile.TableWidth; e++ {
+		row := q.Ext8[e*profile.TableWidth : (e+1)*profile.TableWidth]
+		base := e * t * L
+		for i := 0; i < t; i++ {
+			for k := 0; k < L; k++ {
+				p := k*t + i
+				if p < m {
+					dst[base+i*L+k] = row[q.Seq[p]]
+				} else {
+					dst[base+i*L+k] = 0
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// vshiftU8 is vshift over byte lanes.
+func vshiftU8(dst, src vec.U8, boundary uint8) {
+	for k := len(src) - 1; k >= 1; k-- {
+		dst[k] = src[k-1]
+	}
+	dst[0] = boundary
+}
+
+// clampU8 clamps a non-negative penalty constant to the byte rail; a
+// saturating subtract of 255 always floors at zero, which is the correct
+// clamped value of any deeper penalty.
+func clampU8(v int) uint8 {
+	if v > vec.MaxU8 {
+		return vec.MaxU8
+	}
+	return uint8(v)
+}
+
+// alignPairStriped8 is the ladder's 8-bit striped pass: Farrar's layout
+// over unsigned byte lanes with biased scores, 32 lanes per 256-bit word.
+// H/E/F hold true cell values clamped at zero (see alignGroupIntrinsic8
+// for the soundness argument). The second return value reports biased-rail
+// saturation, in which case the caller escalates to the 16-bit striped
+// pass. Only valid when q.Bias8Viable().
+func alignPairStriped8(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) (int32, bool) {
+	m := q.Len()
+	n := len(subject)
+	if m == 0 || n == 0 {
+		return 0, false
+	}
+	L := stripedLanes8
+	t := (m + L - 1) / L
+	bias := q.Bias
+	qr := clampU8(p.GapOpen + p.GapExtend)
+	r := clampU8(p.GapExtend)
+	qOnly := clampU8(p.GapOpen)
+	safe := ladderSafe8(q, n)
+
+	buf.striped8 = stripedProfile8(q, buf.striped8, t)
+	prof := buf.striped8
+
+	hPrev := grow8(&buf.h8, t*L)
+	hCur := grow8(&buf.e8, t*L)
+	eCol := grow8(&buf.hb8, t*L)
+	for i := range hPrev {
+		hPrev[i] = 0
+		eCol[i] = 0
+	}
+	vH := make(vec.U8, L)
+	vF := make(vec.U8, L)
+	vMax := make(vec.U8, L)
+	vTmp := make(vec.U8, L)
+	vec.Set1U8(vMax, 0)
+
+	for j := 0; j < n; j++ {
+		pBase := int(subject[j]) * t * L
+		vshiftU8(vH, hPrev[(t-1)*L:t*L], 0)
+		vec.Set1U8(vF, 0)
+		for i := 0; i < t; i++ {
+			hp := vec.U8(hPrev[i*L : (i+1)*L])
+			hc := vec.U8(hCur[i*L : (i+1)*L])
+			ev := vec.U8(eCol[i*L : (i+1)*L])
+			pv := vec.U8(prof[pBase+i*L : pBase+(i+1)*L])
+			// H = max(diag+score, E, F) with the zero floor supplied by
+			// the unsigned clamp; track the maximum.
+			vec.AddSatU8(vH, vH, pv)
+			vec.SubSatU8Const(vH, vH, bias)
+			vec.MaxU8s(vH, vH, ev)
+			vec.MaxU8s(vH, vH, vF)
+			vec.MaxIntoU8(vMax, vH)
+			copy(hc, vH)
+			vec.SubSatU8Const(vTmp, vH, qr)
+			vec.SubSatU8Const(ev, ev, r)
+			vec.MaxU8s(ev, ev, vTmp)
+			vec.SubSatU8Const(vF, vF, r)
+			vec.MaxU8s(vF, vF, vTmp)
+			copy(vH, hp)
+		}
+
+		// Lazy-F over byte lanes; Farrar's termination test as in the
+		// 16-bit pass.
+	lazyF:
+		for pass := 0; pass < L; pass++ {
+			vshiftU8(vF, vF, 0)
+			for i := 0; i < t; i++ {
+				hc := vec.U8(hCur[i*L : (i+1)*L])
+				vec.SubSatU8Const(vTmp, hc, qOnly)
+				if !vec.AnyGTU8(vF, vTmp) {
+					break lazyF
+				}
+				vec.MaxU8s(hc, hc, vF)
+				vec.MaxIntoU8(vMax, hc)
+				ev := vec.U8(eCol[i*L : (i+1)*L])
+				vec.SubSatU8Const(vTmp, hc, qr)
+				vec.MaxU8s(ev, ev, vTmp)
+				vec.SubSatU8Const(vF, vF, r)
+			}
+		}
+		hPrev, hCur = hCur, hPrev
+	}
+
+	best := int32(vec.HorizontalMaxU8(vMax))
+	if safe {
+		return best, false
+	}
+	return best, best >= int32(vec.MaxU8)-int32(bias)
 }

@@ -28,10 +28,18 @@ type Stats struct {
 	// Alignments counts database sequences aligned.
 	Alignments int64
 	// Overflows counts lanes whose 16-bit score saturated and were
-	// recomputed in 32 bits.
+	// recomputed in 32 bits — the top escalation of the precision ladder,
+	// reached from either the 16-bit first pass or a ladder lane that
+	// already escalated once.
 	Overflows int64
-	// OverflowCells counts the extra scalar cell updates spent on those
-	// recomputations.
+	// Overflows8 counts lanes whose 8-bit first pass saturated and were
+	// recomputed at 16 bits (only the Prec8 ladder produces these).
+	Overflows8 int64
+	// Safe8Groups counts lane groups whose score upper bound provably fits
+	// the biased byte rail, so the 8-bit pass skipped saturation detection.
+	Safe8Groups int64
+	// OverflowCells counts the extra cell updates spent on escalation
+	// recomputations, across both ladder tiers.
 	OverflowCells int64
 	// IntraCells counts cell updates performed by the intra-task
 	// (anti-diagonal) kernel that handles extremely long database
@@ -50,6 +58,8 @@ func (s *Stats) Add(other Stats) {
 	s.Groups += other.Groups
 	s.Alignments += other.Alignments
 	s.Overflows += other.Overflows
+	s.Overflows8 += other.Overflows8
+	s.Safe8Groups += other.Safe8Groups
 	s.OverflowCells += other.OverflowCells
 	s.IntraCells += other.IntraCells
 }

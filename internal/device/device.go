@@ -57,6 +57,12 @@ type KernelClass struct {
 	// height (0 selects the engine default of 256).
 	Blocked   bool
 	BlockRows int
+	// EightBit marks the intrinsic ladder's 8-bit first pass: byte lanes
+	// (twice as many per register, halving the group count the engine
+	// schedules) and byte-sized kernel state. The per-vector-iteration
+	// cycle cost is unchanged — the speedup comes from the doubled lane
+	// packing, plus the smaller working set where cache pressure bites.
+	EightBit bool
 }
 
 // Shape is the cost-relevant geometry of one scheduler chunk: a lane
@@ -150,6 +156,10 @@ func (m *Model) Validate() error {
 
 // MaxThreads returns the hardware thread count.
 func (m *Model) MaxThreads() int { return m.Cores * m.ThreadsPerCore }
+
+// ByteLanes returns the register's unsigned 8-bit lane count — twice the
+// 16-bit count, the packing the ladder's first pass exploits.
+func (m *Model) ByteLanes() int { return 2 * m.Lanes }
 
 // threadsPerCore returns how many threads share a core when T threads run
 // (threads are spread across cores first, as OpenMP's default affinity
@@ -261,12 +271,19 @@ func (m *Model) workingSet(k KernelClass, M int, lanes int) int64 {
 	if k.Guided {
 		elem = 4 // compiler-vectorised code keeps 32-bit lanes
 	}
+	if k.EightBit {
+		elem = 1 // byte lanes of the ladder's first pass
+	}
 	state := int64(rows+1) * int64(lanes) * elem * 2 // H and E tiles
+	scoreElem := int64(2)
+	if k.EightBit {
+		scoreElem = 1 // biased byte profiles
+	}
 	var prof int64
 	if k.QueryProfile {
-		prof = int64(rows) * profileTableWidth * 2 // QP rows touched per column
+		prof = int64(rows) * profileTableWidth * scoreElem // QP rows touched per column
 	} else {
-		prof = profileTableWidth * int64(lanes) * 2 // SP scratch
+		prof = profileTableWidth * int64(lanes) * scoreElem // SP scratch
 	}
 	return state + prof
 }

@@ -53,7 +53,21 @@ type Query struct {
 	Ext []int16
 	// MaxScore is Matrix.Max(), cached for overflow thresholds.
 	MaxScore int
+
+	// Bias is the unsigned-byte score bias of the 8-bit first pass:
+	// max(0, -Matrix.Min()), so every biased substitution score is
+	// non-negative. QP8 and Ext8 are the biased uint8 mirrors of QP and
+	// Ext; padding entries hold 0 (an effective score of -Bias, which can
+	// never raise a lane maximum). They are nil when the matrix range does
+	// not fit a byte (Bias8Viable false), in which case the ladder starts
+	// at 16 bits.
+	Bias uint8
+	QP8  []uint8
+	Ext8 []uint8
 }
+
+// Bias8Viable reports whether the 8-bit biased profiles were built.
+func (q *Query) Bias8Viable() bool { return q.Ext8 != nil }
 
 // NewQuery builds the profiles for a query under a substitution matrix.
 func NewQuery(seq []alphabet.Code, m *submat.Matrix) *Query {
@@ -79,7 +93,35 @@ func NewQuery(seq []alphabet.Code, m *submat.Matrix) *Query {
 	for i, r := range seq {
 		copy(q.QP[i*TableWidth:(i+1)*TableWidth], q.Ext[int(r)*TableWidth:(int(r)+1)*TableWidth])
 	}
+	q.buildBias8()
 	return q
+}
+
+// buildBias8 derives the biased uint8 profiles of the ladder's 8-bit first
+// pass. Every real substitution score s is stored as s+Bias (non-negative
+// by construction); padding entries store 0, the strongest representable
+// penalty. The build is skipped when the matrix range does not fit a byte.
+func (q *Query) buildBias8() {
+	m := q.Matrix
+	bias := 0
+	if m.Min() < 0 {
+		bias = -m.Min()
+	}
+	if bias > 255 || m.Max()+bias > 255 {
+		return // matrix range exceeds a byte; ladder starts at 16 bits
+	}
+	q.Bias = uint8(bias)
+	q.Ext8 = make([]uint8, len(q.Ext))
+	for i, s := range q.Ext {
+		if int(s) == PadScore {
+			continue // padding stays 0
+		}
+		q.Ext8[i] = uint8(int(s) + bias)
+	}
+	q.QP8 = make([]uint8, len(q.QP))
+	for i := range q.Seq {
+		copy(q.QP8[i*TableWidth:(i+1)*TableWidth], q.Ext8[int(q.Seq[i])*TableWidth:(int(q.Seq[i])+1)*TableWidth])
+	}
 }
 
 // Len returns the query length M.
@@ -89,6 +131,12 @@ func (q *Query) Len() int { return len(q.Seq) }
 // scores of q_i against every residue index including the pad.
 func (q *Query) QPRow(i int) []int16 {
 	return q.QP[i*TableWidth : (i+1)*TableWidth]
+}
+
+// QPRow8 returns the biased uint8 query-profile row for query position i;
+// only valid when Bias8Viable.
+func (q *Query) QPRow8(i int) []uint8 {
+	return q.QP8[i*TableWidth : (i+1)*TableWidth]
 }
 
 // ExtRow returns the pad-extended substitution row for residue index e.
@@ -132,4 +180,33 @@ func (sr *ScoreRows) Build(q *Query, residues []uint8) {
 // Row returns the L-lane score vector for query residue index e.
 func (sr *ScoreRows) Row(e int) vec.I16 {
 	return vec.I16(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
+}
+
+// ScoreRows8 is the biased uint8 score-profile scratch of the ladder's
+// 8-bit first pass, laid out exactly like ScoreRows.
+type ScoreRows8 struct {
+	lanes int
+	rows  []uint8 // TableWidth * lanes
+}
+
+// NewScoreRows8 allocates 8-bit score-profile scratch for a lane count.
+func NewScoreRows8(lanes int) *ScoreRows8 {
+	return &ScoreRows8{lanes: lanes, rows: make([]uint8, TableWidth*lanes)}
+}
+
+// Build fills the biased score rows for the current column's lane residues
+// from the query's Ext8 table; only valid when q.Bias8Viable().
+func (sr *ScoreRows8) Build(q *Query, residues []uint8) {
+	L := sr.lanes
+	for l, d := range residues {
+		src := q.Ext8[int(d):] // column d via stride TableWidth
+		for e := 0; e < TableWidth; e++ {
+			sr.rows[e*L+l] = src[e*TableWidth]
+		}
+	}
+}
+
+// Row returns the L-lane biased score vector for query residue index e.
+func (sr *ScoreRows8) Row(e int) vec.U8 {
+	return vec.U8(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
 }

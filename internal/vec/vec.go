@@ -145,3 +145,113 @@ func AnyGT(a, b I16) bool {
 	}
 	return false
 }
+
+// ---- 8-bit unsigned lanes ----
+//
+// The 8-bit first pass of the precision ladder scores in unsigned byte
+// lanes with biased substitution scores, the SSW Library's representation:
+// a register holds twice as many lanes as the 16-bit form (32 on the Xeon's
+// 256-bit vectors, 64 on the Phi's 512-bit vectors), H/E/F values are true
+// non-negative cell values in [0, 255], and substitution scores are stored
+// as score+bias so the per-cell add is a single unsigned saturating add
+// followed by an unsigned saturating subtract of the bias. Saturation of
+// the top rail marks a lane for 16-bit recomputation.
+
+// MaxU8 is the top saturation rail of unsigned 8-bit lanes.
+const MaxU8 = 255
+
+// U8 is an emulated vector register of unsigned 8-bit lanes, the element
+// type of the ladder's first pass. As with I16, slices let both device
+// widths share one implementation.
+type U8 []uint8
+
+// AddSatU8 sets dst = a + b with unsigned 8-bit saturation (vpaddusb).
+func AddSatU8(dst, a, b U8) {
+	for l := range dst {
+		v := uint16(a[l]) + uint16(b[l])
+		if v > MaxU8 {
+			v = MaxU8
+		}
+		dst[l] = uint8(v)
+	}
+}
+
+// SubSatU8Const sets dst = a - c with unsigned 8-bit saturation at zero
+// (vpsubusb with a broadcast operand).
+func SubSatU8Const(dst, a U8, c uint8) {
+	for l := range dst {
+		if a[l] > c {
+			dst[l] = a[l] - c
+		} else {
+			dst[l] = 0
+		}
+	}
+}
+
+// MaxU8s sets dst = max(a, b) lane-wise (vpmaxub).
+func MaxU8s(dst, a, b U8) {
+	for l := range dst {
+		if a[l] > b[l] {
+			dst[l] = a[l]
+		} else {
+			dst[l] = b[l]
+		}
+	}
+}
+
+// MaxIntoU8 sets dst = max(dst, a) lane-wise; the running-maximum update.
+func MaxIntoU8(dst, a U8) {
+	for l := range dst {
+		if a[l] > dst[l] {
+			dst[l] = a[l]
+		}
+	}
+}
+
+// Set1U8 broadcasts c into every lane (vpbroadcastb).
+func Set1U8(dst U8, c uint8) {
+	for l := range dst {
+		dst[l] = c
+	}
+}
+
+// GatherU8 sets dst[l] = table[idx[l]]; the byte-granularity indexed load
+// of the 8-bit query-profile kernels.
+func GatherU8(dst U8, table []uint8, idx []uint8) {
+	for l := range dst {
+		dst[l] = table[idx[l]]
+	}
+}
+
+// HorizontalMaxU8 returns the maximum lane value.
+func HorizontalMaxU8(a U8) uint8 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AnyGEU8 reports whether any lane is >= threshold; the ladder's 8-bit
+// saturation test.
+func AnyGEU8(a U8, threshold uint8) bool {
+	for _, v := range a {
+		if v >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyGTU8 reports whether any lane of a exceeds the corresponding lane of
+// b; the lazy-F termination test of the 8-bit striped pass.
+func AnyGTU8(a, b U8) bool {
+	for l := range a {
+		if a[l] > b[l] {
+			return true
+		}
+	}
+	return false
+}

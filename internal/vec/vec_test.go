@@ -157,3 +157,62 @@ func TestAnyGT(t *testing.T) {
 		t.Error("AnyGT(a,a) = true")
 	}
 }
+
+// ---- 8-bit unsigned lane primitives ----
+
+func TestU8Saturation(t *testing.T) {
+	a := U8{0, 100, 200, 255}
+	b := U8{0, 100, 100, 1}
+	dst := make(U8, 4)
+	AddSatU8(dst, a, b)
+	for i, want := range []uint8{0, 200, 255, 255} {
+		if dst[i] != want {
+			t.Errorf("AddSatU8 lane %d = %d, want %d", i, dst[i], want)
+		}
+	}
+	SubSatU8Const(dst, a, 150)
+	for i, want := range []uint8{0, 0, 50, 105} {
+		if dst[i] != want {
+			t.Errorf("SubSatU8Const lane %d = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestU8MaxOps(t *testing.T) {
+	a := U8{1, 200, 7}
+	b := U8{3, 100, 7}
+	dst := make(U8, 3)
+	MaxU8s(dst, a, b)
+	if dst[0] != 3 || dst[1] != 200 || dst[2] != 7 {
+		t.Errorf("MaxU8s = %v", dst)
+	}
+	tracker := U8{2, 150, 9}
+	MaxIntoU8(tracker, a)
+	if tracker[0] != 2 || tracker[1] != 200 || tracker[2] != 9 {
+		t.Errorf("MaxIntoU8 = %v", tracker)
+	}
+	if HorizontalMaxU8(a) != 200 {
+		t.Errorf("HorizontalMaxU8 = %d", HorizontalMaxU8(a))
+	}
+}
+
+func TestU8BroadcastGatherTests(t *testing.T) {
+	dst := make(U8, 5)
+	Set1U8(dst, 42)
+	for _, v := range dst {
+		if v != 42 {
+			t.Fatalf("Set1U8 = %v", dst)
+		}
+	}
+	table := []uint8{9, 8, 7, 6}
+	GatherU8(dst[:3], table, []uint8{3, 0, 2})
+	if dst[0] != 6 || dst[1] != 9 || dst[2] != 7 {
+		t.Errorf("GatherU8 = %v", dst[:3])
+	}
+	if !AnyGEU8(U8{1, 250}, 250) || AnyGEU8(U8{1, 249}, 250) {
+		t.Error("AnyGEU8 threshold wrong")
+	}
+	if !AnyGTU8(U8{1, 5}, U8{1, 4}) || AnyGTU8(U8{1, 4}, U8{1, 4}) {
+		t.Error("AnyGTU8 wrong")
+	}
+}

@@ -55,23 +55,29 @@ func Devices() []DeviceInfo {
 }
 
 // Variant names. See the paper's Section V: vectorisation mode x
-// substitution-score layout.
+// substitution-score layout. The intrinsic variants additionally accept an
+// "-8bit" suffix selecting the adaptive precision ladder: an 8-bit biased
+// first pass with twice the lanes per vector word, escalating saturated
+// lanes to 16 and then 32 bits.
 const (
-	VariantNoVecQP     = "no-vec-QP"
-	VariantNoVecSP     = "no-vec-SP"
-	VariantGuidedQP    = "simd-QP"
-	VariantGuidedSP    = "simd-SP"
-	VariantIntrinsicQP = "intrinsic-QP"
-	VariantIntrinsicSP = "intrinsic-SP"
+	VariantNoVecQP      = "no-vec-QP"
+	VariantNoVecSP      = "no-vec-SP"
+	VariantGuidedQP     = "simd-QP"
+	VariantGuidedSP     = "simd-SP"
+	VariantIntrinsicQP  = "intrinsic-QP"
+	VariantIntrinsicSP  = "intrinsic-SP"
+	VariantIntrinsicQP8 = "intrinsic-QP-8bit"
+	VariantIntrinsicSP8 = "intrinsic-SP-8bit"
 )
 
-// Variants lists the kernel variant names in the paper's order.
+// Variants lists the kernel variant names in the paper's order, followed
+// by the 8-bit ladder forms of the intrinsic variants.
 func Variants() []string {
-	out := make([]string, 0, 6)
+	out := make([]string, 0, 8)
 	for _, v := range core.Variants() {
 		out = append(out, v.String())
 	}
-	return out
+	return append(out, VariantIntrinsicQP8, VariantIntrinsicSP8)
 }
 
 // Options configures a database search. The zero value reproduces the
@@ -132,7 +138,7 @@ func (o Options) toCore() (core.SearchOptions, error) {
 	if variant == "" {
 		variant = VariantIntrinsicSP
 	}
-	v, err := core.ParseVariant(variant)
+	v, prec, err := core.ParseVariantSpec(variant)
 	if err != nil {
 		return out, err
 	}
@@ -174,6 +180,7 @@ func (o Options) toCore() (core.SearchOptions, error) {
 		GapExtend: gapExtend,
 		Blocked:   !o.NoBlocking,
 		BlockRows: o.BlockRows,
+		Prec:      prec,
 	}
 	out.Matrix = m
 	out.Schedule = pol

@@ -129,9 +129,24 @@ func renderHitAlignment(sb *strings.Builder, query, subject Sequence, h Hit, wid
 				sEnd++
 			}
 		}
-		fmt.Fprintf(sb, "  Query %6d %s %d\n", qPos, qRow[off:end], qEnd-1)
+		// A wrapped row that consumes no residues of one sequence (a gap
+		// run spanning the whole row) labels both ends with the last
+		// consumed coordinate, as BLAST does — never an inverted n..n-1
+		// range. A local alignment starts and ends on match columns, so a
+		// consumed residue always precedes such a row.
+		qFrom, qTo := qPos, qEnd-1
+		if qEnd == qPos {
+			qFrom = qPos - 1
+			qTo = qPos - 1
+		}
+		sFrom, sTo := sPos, sEnd-1
+		if sEnd == sPos {
+			sFrom = sPos - 1
+			sTo = sPos - 1
+		}
+		fmt.Fprintf(sb, "  Query %6d %s %d\n", qFrom, qRow[off:end], qTo)
 		fmt.Fprintf(sb, "  %12s %s\n", "", mRow[off:end])
-		fmt.Fprintf(sb, "  Sbjct %6d %s %d\n", sPos, sRow[off:end], sEnd-1)
+		fmt.Fprintf(sb, "  Sbjct %6d %s %d\n", sFrom, sRow[off:end], sTo)
 		qPos, sPos = qEnd, sEnd
 	}
 	return nil

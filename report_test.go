@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -222,5 +223,189 @@ func TestWriteReportShapes(t *testing.T) {
 	}
 	if err := WriteReport(&buf, q, nil, aligned, 0); err == nil {
 		t.Error("nil database accepted")
+	}
+}
+
+// A wrapped alignment row consumed entirely by a gap run used to print an
+// inverted n..n-1 coordinate range; it must label both ends with the last
+// consumed residue, BLAST-style, on whichever side the gap falls.
+func TestReportWrappedGapRowCoordinates(t *testing.T) {
+	gap60 := strings.Repeat("-", 60)
+
+	// 120 deletion columns: the second wrapped row consumes no query.
+	query := NewSequence("q", "WW")
+	subject := NewSequence("s", "W"+strings.Repeat("A", 120)+"W")
+	db, err := NewDatabase([]Sequence{subject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &ClusterResult{}
+	res.Hits = []Hit{{
+		Index: 0, ID: "s", Score: 10,
+		Alignment: &HitAlignment{
+			QueryStart: 0, QueryEnd: 2, SubjectStart: 0, SubjectEnd: 122,
+			CIGAR: "1M120D1M", Identities: 2, Columns: 122,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, query, db, res, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if want := "  Query      1 " + gap60 + " 1\n"; !strings.Contains(out, want) {
+		t.Fatalf("query-less row not labelled with last-consumed coordinates; want %q in:\n%s", want, out)
+	}
+	if bad := "  Query      2 " + gap60 + " 1\n"; strings.Contains(out, bad) {
+		t.Fatalf("inverted 2..1 query range still printed:\n%s", out)
+	}
+	// The rows around the gap keep their consumed-range labels.
+	if want := "  Query      2 -W 2\n"; !strings.Contains(out, want) {
+		t.Fatalf("final row mislabelled; want %q in:\n%s", want, out)
+	}
+
+	// The symmetric case: 120 insertion columns, a subject-less row.
+	query2 := NewSequence("q", "W"+strings.Repeat("A", 120)+"W")
+	subject2 := NewSequence("s", "WW")
+	db2, err := NewDatabase([]Sequence{subject2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := &ClusterResult{}
+	res2.Hits = []Hit{{
+		Index: 0, ID: "s", Score: 10,
+		Alignment: &HitAlignment{
+			QueryStart: 0, QueryEnd: 122, SubjectStart: 0, SubjectEnd: 2,
+			CIGAR: "1M120I1M", Identities: 2, Columns: 122,
+		},
+	}}
+	buf.Reset()
+	if err := WriteReport(&buf, query2, db2, res2, 60); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if want := "  Sbjct      1 " + gap60 + " 1\n"; !strings.Contains(out, want) {
+		t.Fatalf("subject-less row not labelled with last-consumed coordinates:\n%s", out)
+	}
+	if bad := "  Sbjct      2 " + gap60 + " 1\n"; strings.Contains(out, bad) {
+		t.Fatalf("inverted 2..1 subject range still printed:\n%s", out)
+	}
+}
+
+// A per-call ReportOptions.TopK larger than the cluster-wide Options.TopK
+// must expand the hit selection from the retained score list (the score
+// pass had already truncated Hits), not silently under-deliver; a smaller
+// per-call K still truncates.
+func TestReportTopKOverridesClusterTopK(t *testing.T) {
+	db, _ := tinyDB(t)
+	truncated, err := NewCluster(db, ClusterOptions{Options: Options{TopK: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+	want, err := full.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expansion: call K of 4 against a cluster that keeps only 2.
+	res, err := truncated.Search(q, ReportOptions{Alignments: true, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 4 {
+		t.Fatalf("expanded hit list has %d hits, want 4", len(res.Hits))
+	}
+	for i, h := range res.Hits {
+		if h.Index != want.Hits[i].Index || h.Score != want.Hits[i].Score {
+			t.Fatalf("expanded hit %d = {%d, %d}, want {%d, %d}",
+				i, h.Index, h.Score, want.Hits[i].Index, want.Hits[i].Score)
+		}
+		if h.Alignment == nil {
+			t.Fatalf("expanded hit %d undecorated", i)
+		}
+	}
+
+	// Expansion without alignments behaves identically.
+	res, err = truncated.Search(q, ReportOptions{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 {
+		t.Fatalf("plain expansion returned %d hits, want 3", len(res.Hits))
+	}
+
+	// Truncation: a smaller per-call K still wins.
+	res, err = truncated.Search(q, ReportOptions{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Index != want.Hits[0].Index {
+		t.Fatalf("truncation returned %+v, want the single best hit", res.Hits)
+	}
+
+	// A K beyond the database is satisfied with every sequence.
+	res, err = truncated.Search(q, ReportOptions{TopK: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != db.Len() {
+		t.Fatalf("over-database K returned %d hits, want %d", len(res.Hits), db.Len())
+	}
+}
+
+// Library-side tracebacks are capped at MaxAlignHits on every entry point:
+// a huge per-call TopK — or a huge cluster-wide Options.TopK — with
+// Alignments fails fast instead of re-aligning an arbitrary slice of the
+// database.
+func TestAlignmentCapEnforced(t *testing.T) {
+	seqs := make([]Sequence, 100)
+	for i := range seqs {
+		seqs[i] = NewSequence(fmt.Sprintf("s%d", i), "MKWVLAARNDCCQEGHIL")
+	}
+	db, err := NewDatabase(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+
+	if _, err := cl.Search(q, ReportOptions{Alignments: true, TopK: 500000}); !errors.Is(err, ErrTooManyAlignments) {
+		t.Fatalf("Search accepted a 500000-traceback report: %v", err)
+	}
+	if _, err := cl.SearchBatch([]Sequence{q}, ReportOptions{Alignments: true, TopK: MaxAlignHits + 1}); !errors.Is(err, ErrTooManyAlignments) {
+		t.Fatalf("SearchBatch accepted TopK %d: %v", MaxAlignHits+1, err)
+	}
+	if _, err := cl.SearchScheduled(context.Background(), q, ReportOptions{Alignments: true, TopK: MaxAlignHits + 1}); !errors.Is(err, ErrTooManyAlignments) {
+		t.Fatalf("SearchScheduled accepted TopK %d: %v", MaxAlignHits+1, err)
+	}
+
+	// At the cap exactly, the search runs and decorates every hit.
+	res, err := cl.Search(q, ReportOptions{Alignments: true, TopK: MaxAlignHits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != MaxAlignHits || res.Hits[MaxAlignHits-1].Alignment == nil {
+		t.Fatalf("cap-sized report: %d hits, last decorated=%v", len(res.Hits), res.Hits[len(res.Hits)-1].Alignment != nil)
+	}
+
+	// A cluster-wide TopK above the cap is just as rejected when the call
+	// requests alignments without its own K.
+	big, err := NewCluster(db, ClusterOptions{Options: Options{TopK: MaxAlignHits + 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Search(q, ReportOptions{Alignments: true}); !errors.Is(err, ErrTooManyAlignments) {
+		t.Fatalf("cluster-wide TopK above the cap accepted: %v", err)
+	}
+	// Score-only reporting is unaffected by the cap.
+	if _, err := big.Search(q, ReportOptions{TopK: 90}); err != nil {
+		t.Fatalf("score-only report rejected: %v", err)
 	}
 }

@@ -143,8 +143,12 @@ type Result struct {
 	WallSeconds float64
 	WallGCUPS   float64
 	// Overflows counts 16-bit lane saturations escalated to 32-bit
-	// recomputation.
+	// recomputation — the ladder's top tier, reached from the 16-bit first
+	// pass or from an already-escalated 8-bit lane.
 	Overflows int64
+	// Overflows8 counts 8-bit first-pass saturations escalated to 16-bit
+	// recomputation; always zero unless the search ran an "-8bit" variant.
+	Overflows8 int64
 }
 
 func wrapResult(r *core.Result) *Result {
@@ -158,6 +162,7 @@ func wrapResult(r *core.Result) *Result {
 		WallSeconds: r.WallSeconds,
 		WallGCUPS:   r.WallGCUPS,
 		Overflows:   r.Stats.Overflows,
+		Overflows8:  r.Stats.Overflows8,
 	}
 	for i, h := range r.Hits {
 		out.Hits[i] = Hit{Index: h.SeqIndex, ID: h.ID, Score: int(h.Score)}

@@ -40,10 +40,9 @@ const maxQueryResidues = 65536
 // says.
 const maxResponseHits = 10000
 
-// maxAlignHits caps top_k when align is requested: every reported hit
-// costs an O(query x subject) traceback with a full DP matrix, so the
-// aligned report is bounded far tighter than the score-only one.
-const maxAlignHits = 64
+// maxAlignHits caps top_k when align is requested, mirroring the
+// library-level MaxAlignHits cap enforced by Cluster.checkReport.
+const maxAlignHits = MaxAlignHits
 
 // defaultResponseHits caps the hits serialised per query when a request
 // does not set top_k; the full score list of a half-million-sequence
@@ -411,6 +410,12 @@ func searchStatus(r *http.Request, err error) int {
 	}
 	if errors.Is(err, ErrNoSignificance) {
 		return http.StatusUnprocessableEntity
+	}
+	if errors.Is(err, ErrTooManyAlignments) {
+		// The request-level top_k is pre-validated, but a cluster-wide
+		// Options.TopK above the cap still surfaces here; the request
+		// cannot succeed on retry.
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
