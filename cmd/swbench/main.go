@@ -8,6 +8,7 @@
 //	swbench [-fig all|fig3|fig4|fig5|fig6|fig7|fig8|eff|sched|power|transfer]
 //	        [-scale 1.0] [-csv] [-summary] [-o out.txt]
 //	swbench -devices xeon,phi,phi -dist dynamic [-scale 1.0]
+//	swbench -devices xeon,phi -db db.swdb
 //
 // By default the full 541,561-sequence synthetic Swiss-Prot is simulated
 // (fast: the device models consume shape information only; see DESIGN.md).
@@ -29,6 +30,7 @@ import (
 	"heterosw/internal/figures"
 	"heterosw/internal/report"
 	"heterosw/internal/sched"
+	"heterosw/internal/seqdb/index"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		summary = flag.Bool("summary", false, "one line per figure (best value per series)")
 		outPath = flag.String("o", "", "write output to a file instead of stdout")
 		devices = flag.String("devices", "", "cluster mode: comma-separated roster (e.g. xeon,phi,phi)")
+		dbPath  = flag.String("db", "", "cluster mode: plan over this database (FASTA or .swdb) instead of the synthetic corpus")
 		dist    = flag.String("dist", "", "cluster mode: compare only this distribution (default: all)")
 		qlen    = flag.Int("qlen", 1000, "cluster mode: query length")
 		variant = flag.String("variant", "intrinsic-SP", "cluster mode: kernel variant spec (append -8bit for the precision ladder)")
@@ -59,10 +62,13 @@ func main() {
 		if *csv || *summary {
 			fatal(fmt.Errorf("-csv and -summary are not supported with -devices (cluster mode prints one fixed table)"))
 		}
-		if err := clusterBench(out, *devices, *dist, *variant, *scale, *qlen); err != nil {
+		if err := clusterBench(out, *devices, *dist, *variant, *dbPath, *scale, *qlen); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *dbPath != "" {
+		fatal(fmt.Errorf("-db needs cluster mode (-devices); the figures always use the synthetic corpus"))
 	}
 
 	start := time.Now()
@@ -103,7 +109,7 @@ func main() {
 // clusterBench compares workload-distribution strategies for a device
 // roster at shape level: the full database is planned, never executed, so
 // the comparison runs in milliseconds at any scale.
-func clusterBench(out io.Writer, roster, only, variant string, scale float64, queryLen int) error {
+func clusterBench(out io.Writer, roster, only, variant, dbPath string, scale float64, queryLen int) error {
 	models := device.Devices()
 	var backends []core.Backend
 	var names []string
@@ -117,7 +123,18 @@ func clusterBench(out io.Writer, roster, only, variant string, scale float64, qu
 		backends = append(backends, core.NewBackend(name, m, 0))
 		names = append(names, name)
 	}
-	lengths := datagen.Lengths(datagen.SwissProtConfig(scale))
+	var lengths []int
+	if dbPath != "" {
+		// A real database (FASTA or preprocessed .swdb, sniffed by magic);
+		// planning only needs its length distribution.
+		db, _, err := index.LoadDatabase(dbPath)
+		if err != nil {
+			return err
+		}
+		lengths = db.OrderLengths()
+	} else {
+		lengths = datagen.Lengths(datagen.SwissProtConfig(scale))
+	}
 	var residues int64
 	for _, l := range lengths {
 		residues += int64(l)

@@ -20,6 +20,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "database scale relative to Swiss-Prot 2013_11 (541,561 sequences)")
 		outPath = flag.String("o", "db.fasta", "output database FASTA path")
 		qPath   = flag.String("queries", "", "also write the 20 paper queries to this FASTA path")
+		ixPath  = flag.String("index", "", "also write a preprocessed .swdb index of the database to this path")
 		plant   = flag.Bool("plant", true, "plant the paper queries inside the database (guarantees perfect hits)")
 	)
 	flag.Parse()
@@ -33,6 +34,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %s\n", *outPath, db)
+	if *ixPath != "" {
+		if err := heterosw.WriteIndexFile(*ixPath, db); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: preprocessed index (load with -db, no parse or sort at startup)\n", *ixPath)
+	}
 	if *qPath != "" {
 		if len(queries) == 0 {
 			// -plant=false still allows emitting queries.

@@ -1,0 +1,145 @@
+// Command swindex builds and inspects persistent preprocessed database
+// indexes (.swdb): a binary image of the fully preprocessed search
+// database — encoded residues packed in length-sorted order into one
+// contiguous arena, the sort permutation, header strings and precomputed
+// lane-group shapes — so swsearch, swserve and swbench start in O(1) work
+// per sequence instead of re-parsing and re-sorting FASTA on every boot.
+//
+// Usage:
+//
+//	swindex build db.fasta -o db.swdb [-unsorted]
+//	swindex info db.swdb
+//
+// Every -db flag in this repository accepts the resulting .swdb wherever
+// it accepts FASTA; the formats are sniffed by magic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"heterosw/internal/seqdb"
+	"heterosw/internal/seqdb/index"
+	"heterosw/internal/sequence"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q (have build, info)", os.Args[1]))
+	}
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("swindex build", flag.ExitOnError)
+	out := fs.String("o", "", "output .swdb path (default: input with .swdb extension)")
+	unsorted := fs.Bool("unsorted", false, "skip the length-sorting pre-processing (ablation databases)")
+	// Accept the documented `build db.fasta -o db.swdb` shape: the flag
+	// package stops at the first positional, so lift it out first.
+	var in string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		in = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	switch {
+	case in == "" && fs.NArg() == 1:
+		in = fs.Arg(0)
+	case in != "" && fs.NArg() == 0:
+	default:
+		fatal(fmt.Errorf("build needs exactly one input file (FASTA or .swdb)"))
+	}
+	outPath := *out
+	if outPath == "" {
+		// db.fasta -> db.swdb; db.swdb -> db.swdb (an in-place rebuild:
+		// WriteFile replaces atomically, so the mapped input stays valid).
+		outPath = strings.TrimSuffix(strings.TrimSuffix(in, ".fasta"), ".swdb") + ".swdb"
+	}
+
+	start := time.Now()
+	var (
+		db   *seqdb.Database
+		kind string
+		err  error
+	)
+	if *unsorted {
+		// Sniff the magic before parsing so the FASTA file is read once.
+		if index.SniffFile(in) {
+			fatal(fmt.Errorf("-unsorted needs FASTA input; %s is already an index", in))
+		}
+		var seqs []*sequence.Sequence
+		seqs, err = sequence.ReadFASTAFile(in)
+		db, kind = seqdb.New(seqs, false), "fasta"
+	} else {
+		db, kind, err = index.LoadDatabase(in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	loaded := time.Since(start)
+
+	sum, err := index.WriteFile(outPath, db)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(outPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("swindex: %s (%s input, loaded in %v)\n", db, kind, loaded.Round(time.Millisecond))
+	fmt.Printf("swindex: wrote %s: %d bytes, checksum %016x\n", outPath, st.Size(), sum)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("swindex info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info needs exactly one .swdb file"))
+	}
+	start := time.Now()
+	ix, err := index.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opened := time.Since(start)
+	db := ix.Database()
+	fmt.Printf("file:      %s (swdb v%d, opened in %v)\n", fs.Arg(0), index.Version, opened.Round(time.Microsecond))
+	fmt.Printf("checksum:  %016x (engine key %s)\n", ix.Checksum, ix.Key())
+	fmt.Printf("database:  %s\n", db)
+	for _, tk := range ix.ShapeTables() {
+		shapes, _ := ix.Shapes(tk.Lanes, tk.LongThreshold)
+		intra := 0
+		for _, s := range shapes {
+			if s.Intra {
+				intra++
+			}
+		}
+		fmt.Printf("shapes:    %d lanes (long > %d): %d chunks (%d intra)\n",
+			tk.Lanes, tk.LongThreshold, len(shapes), intra)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  swindex build db.fasta -o db.swdb [-unsorted]
+  swindex info db.swdb
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swindex:", err)
+	os.Exit(1)
+}

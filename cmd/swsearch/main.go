@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		dbPath     = flag.String("db", "", "database FASTA file")
+		dbPath     = flag.String("db", "", "database file: FASTA or a swindex-built .swdb index")
 		queryPath  = flag.String("query", "", "query FASTA file (first record is searched unless -queryindex)")
 		synthetic  = flag.Float64("synthetic", 0, "use a synthetic Swiss-Prot database at this scale instead of -db")
 		queryIndex = flag.Int("queryindex", 0, "index of the query record (within -query, or among the 20 paper queries with -synthetic)")
@@ -59,11 +59,9 @@ func main() {
 	case *synthetic > 0:
 		db, queries = heterosw.SyntheticSwissProt(*synthetic, true)
 	case *dbPath != "":
-		seqs, rerr := heterosw.ReadFASTAFile(*dbPath)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		db, err = heterosw.NewDatabase(seqs)
+		// FASTA or a preprocessed .swdb index, sniffed by magic; the index
+		// path restores the sorted database without parsing.
+		db, err = heterosw.LoadDatabaseFile(*dbPath)
 		if err != nil {
 			fatal(err)
 		}

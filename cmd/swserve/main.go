@@ -45,7 +45,7 @@ import (
 func main() {
 	var (
 		listen    = flag.String("listen", ":7734", "HTTP listen address")
-		dbPath    = flag.String("db", "", "database FASTA file")
+		dbPath    = flag.String("db", "", "database file: FASTA or a swindex-built .swdb index")
 		synthetic = flag.Float64("synthetic", 0, "use a synthetic Swiss-Prot database at this scale instead of -db")
 		devices   = flag.String("devices", "xeon,phi", "comma-separated cluster roster (e.g. xeon,phi,phi)")
 		dist      = flag.String("dist", "dynamic", "workload distribution: static, dynamic, guided")
@@ -68,11 +68,10 @@ func main() {
 	case *synthetic > 0:
 		db, _ = heterosw.SyntheticSwissProt(*synthetic, false)
 	case *dbPath != "":
-		seqs, rerr := heterosw.ReadFASTAFile(*dbPath)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		db, err = heterosw.NewDatabase(seqs)
+		// FASTA or a preprocessed .swdb index, sniffed by magic. Serving
+		// restarts over a prebuilt index skip the parse and sort entirely,
+		// so the server is ready near-instantly at any database scale.
+		db, err = heterosw.LoadDatabaseFile(*dbPath)
 		if err != nil {
 			fatal(err)
 		}

@@ -40,7 +40,32 @@
 //     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
 //     alongside the real wall-clock throughput of the pure-Go kernels;
 //   - a synthetic Swiss-Prot workload generator matching the statistics of
-//     the paper's benchmark database, plus FASTA I/O for real data.
+//     the paper's benchmark database, plus FASTA I/O for real data;
+//   - a persistent preprocessed database format (.swdb): a versioned,
+//     checksummed binary image of the fully preprocessed database that
+//     loads by mmap and zero-copy slicing — no parse, no sort, no
+//     per-sequence copies — see WriteIndexFile, OpenIndexFile and
+//     LoadDatabaseFile, and the cmd/swindex CLI.
+//
+// # The persistent database index
+//
+// NewDatabase pays the full preprocessing cost — FASTA parse, residue
+// encoding, the length sort — on every construction. WriteIndexFile
+// persists the finished product as a .swdb image (internal/seqdb/index
+// documents the exact layout); OpenIndexFile restores it with O(1) work
+// per sequence, and LoadDatabaseFile accepts either representation,
+// sniffed by magic, which is what every -db CLI flag uses:
+//
+//	db, err := heterosw.LoadDatabaseFile("swissprot.swdb") // or .fasta
+//	cl, err := heterosw.NewCluster(db, heterosw.ClusterOptions{...})
+//
+// A corrupted or truncated index fails to open with an error wrapping
+// ErrBadIndex — never a panic — and a checksum-derived identity key lets
+// shards split from the same index share backend engines across loads.
+// Loading from .swdb and loading from FASTA are conformant: every entry
+// point returns byte-identical results over either path (pinned by the
+// conformance harness for all kernel variants, including the 8-bit
+// ladder).
 //
 // # Quick start
 //
@@ -114,10 +139,13 @@
 //
 // # Tools
 //
-// The cmd/swbench tool regenerates every figure of the paper's evaluation
-// and compares distribution strategies over arbitrary rosters (-devices
-// xeon,phi,phi -dist dynamic); cmd/swserve fronts a cluster with the JSON
-// search API (/search, /batch, /healthz) and examples/loadgen load-tests
-// it; see DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured comparison.
+// The cmd/swindex tool builds and inspects .swdb indexes (swindex build
+// db.fasta -o db.swdb); cmd/swbench regenerates every figure of the
+// paper's evaluation and compares distribution strategies over arbitrary
+// rosters (-devices xeon,phi,phi -dist dynamic), planning over a real
+// database with -db; cmd/swserve fronts a cluster with the JSON search
+// API (/search, /batch, /healthz) — give it a .swdb and restarts are
+// near-instant — and examples/loadgen load-tests it; see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the paper-versus-measured
+// comparison.
 package heterosw

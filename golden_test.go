@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -173,6 +174,40 @@ func TestGoldenClusterSearch(t *testing.T) {
 	if tracebacks != goldenTopK {
 		t.Fatalf("traceback phase aligned %d sequences, want exactly %d", tracebacks, goldenTopK)
 	}
+}
+
+// TestGoldenIndexSearch pins the .swdb load path against the same golden
+// file: building an index from the golden FASTA (exactly what swindex
+// build does), reloading it through the sniffing loader and searching must
+// reproduce the FASTA-loaded pipeline's output byte for byte.
+func TestGoldenIndexSearch(t *testing.T) {
+	db, query, _ := goldenSetup(t)
+	swdb := filepath.Join(t.TempDir(), "golden.swdb")
+	if err := WriteIndexFile(swdb, db); err != nil {
+		t.Fatal(err)
+	}
+	idb, err := LoadDatabaseFile(swdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsIndexFile(swdb) || IsIndexFile("testdata/golden_db.fasta") {
+		t.Fatal("index sniffing misclassified a golden input")
+	}
+	cl, err := NewCluster(idb, ClusterOptions{
+		Devices: []DeviceKind{DeviceXeon, DevicePhi},
+		Dist:    "dynamic",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Search(query, ReportOptions{Alignments: true, EValues: true, TopK: goldenTopK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		t.Skip("golden files are regenerated from the FASTA path")
+	}
+	checkGoldenFile(t, "swdb Cluster.Search", goldenFromResult(t, query, idb, res))
 }
 
 // TestGoldenHTTPSearch pins the HTTP surface against the same golden

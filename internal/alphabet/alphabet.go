@@ -9,7 +9,11 @@
 // B (Asx), Z (Glx) and X (unknown), and the stop/terminator '*'.
 package alphabet
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
 
 // Code is the compact integer encoding of a residue. Valid codes are in
 // [0, Size). The zero value encodes 'A'.
@@ -92,6 +96,58 @@ func DecodeAll(cs []Code) []byte {
 		out[i] = Decode(c)
 	}
 	return out
+}
+
+// CodesView reinterprets a byte slice as a Code slice without copying.
+// Code is a uint8, so the two layouts are identical; the view aliases b,
+// which must hold already-encoded residues (every byte < Size) and must not
+// be mutated afterwards. This is the zero-copy path the on-disk database
+// index uses to slice sequences out of one contiguous residue arena.
+func CodesView(b []byte) []Code {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Code)(unsafe.Pointer(&b[0])), len(b))
+}
+
+// BytesView is the inverse of CodesView: a zero-copy byte view over a
+// code slice (the index writer's arena serialisation). The view aliases
+// cs and must not be mutated.
+func BytesView(cs []Code) []byte {
+	if len(cs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&cs[0])), len(cs))
+}
+
+// ValidCodes reports whether every element of cs is a valid residue code,
+// the integrity check applied to residue arenas loaded from disk. The scan
+// runs eight codes per word (SWAR), so validating a multi-megabyte arena
+// costs a fraction of a millisecond of the load budget.
+func ValidCodes(cs []Code) bool {
+	const (
+		hiBits = 0x8080808080808080
+		// addend lifts a byte's high bit exactly when the byte >= Size:
+		// 0x80 - Size replicated per byte. Carry-free whenever no input
+		// byte has its high bit set, which the hiBits term checks first.
+		addend = (0x80 - Size) * 0x0101010101010101
+	)
+	i, n := 0, len(cs)
+	if n >= 8 {
+		b := unsafe.Slice((*byte)(unsafe.Pointer(&cs[0])), n)
+		for ; i+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(b[i:])
+			if (w|(w+addend))&hiBits != 0 {
+				return false
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if int(cs[i]) >= Size {
+			return false
+		}
+	}
+	return true
 }
 
 // Valid reports whether every byte of s is a recognised residue letter.

@@ -129,3 +129,29 @@ func TestEncodeIdempotentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCodesView(t *testing.T) {
+	if CodesView(nil) != nil || CodesView([]byte{}) != nil {
+		t.Fatal("empty views must be nil")
+	}
+	b := []byte{0, 5, 23, 1}
+	v := CodesView(b)
+	if len(v) != len(b) {
+		t.Fatalf("len %d, want %d", len(v), len(b))
+	}
+	for i := range b {
+		if v[i] != Code(b[i]) {
+			t.Fatalf("v[%d] = %d, want %d", i, v[i], b[i])
+		}
+	}
+	b[2] = 7 // the view aliases the backing bytes
+	if v[2] != 7 {
+		t.Fatal("view did not alias the byte slice")
+	}
+	if !ValidCodes(v) {
+		t.Fatal("ValidCodes rejected in-range codes")
+	}
+	if ValidCodes([]Code{0, Code(Size)}) {
+		t.Fatal("ValidCodes accepted an out-of-range code")
+	}
+}

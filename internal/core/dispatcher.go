@@ -47,7 +47,7 @@ type EngineBackend struct {
 	threads int
 
 	mu      sync.Mutex
-	engines map[*seqdb.Database]*Engine
+	engines map[any]*Engine
 }
 
 // NewBackend builds an EngineBackend over a device model. threads is the
@@ -57,8 +57,21 @@ func NewBackend(name string, m *device.Model, threads int) *EngineBackend {
 		name:    name,
 		model:   m,
 		threads: threads,
-		engines: make(map[*seqdb.Database]*Engine),
+		engines: make(map[any]*Engine),
 	}
+}
+
+// engineKey is the engine-cache identity of a database: the content key
+// for index-backed databases (seqdb.Database.Key), so shards carrying the
+// same checksum-derived key share one engine — and its cached lane
+// packings — across distinct Database values (a rebuilt shard split of the
+// same .swdb, two loads of one index); the pointer for ad-hoc databases,
+// whose content has no durable identity.
+func engineKey(db *seqdb.Database) any {
+	if k := db.Key(); k != "" {
+		return k
+	}
+	return db
 }
 
 // Name implements Backend.
@@ -78,10 +91,12 @@ func (b *EngineBackend) Threads() int { return b.threads }
 // wholesale.
 const maxCachedEngines = 512
 
-// Search implements Backend, caching one engine per database.
+// Search implements Backend, caching one engine per database identity
+// (see engineKey).
 func (b *EngineBackend) Search(db *seqdb.Database, query *sequence.Sequence, opt SearchOptions) (*Result, error) {
+	key := engineKey(db)
 	b.mu.Lock()
-	eng, ok := b.engines[db]
+	eng, ok := b.engines[key]
 	b.mu.Unlock()
 	if !ok {
 		var err error
@@ -90,7 +105,7 @@ func (b *EngineBackend) Search(db *seqdb.Database, query *sequence.Sequence, opt
 			return nil, err
 		}
 		b.mu.Lock()
-		if cached, again := b.engines[db]; again {
+		if cached, again := b.engines[key]; again {
 			eng = cached
 		} else {
 			if len(b.engines) >= maxCachedEngines {
@@ -99,7 +114,7 @@ func (b *EngineBackend) Search(db *seqdb.Database, query *sequence.Sequence, opt
 					break
 				}
 			}
-			b.engines[db] = eng
+			b.engines[key] = eng
 		}
 		b.mu.Unlock()
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"heterosw/internal/device"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+)
+
+func cacheTestSeqs(n int) []*sequence.Sequence {
+	rng := rand.New(rand.NewSource(77))
+	const letters = "ARNDCQEGHILKMFPSTWYV"
+	out := make([]*sequence.Sequence, n)
+	for i := range out {
+		var sb strings.Builder
+		for j := 0; j < rng.Intn(60)+8; j++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		out[i] = sequence.FromString("s", sb.String())
+	}
+	return out
+}
+
+// TestEngineCacheSharesByKey pins the index-aware engine cache: two
+// distinct Database values carrying the same identity key (two loads or
+// splits of the same .swdb) share one engine — and its lane packings —
+// while keyless databases keep their pointer identity.
+func TestEngineCacheSharesByKey(t *testing.T) {
+	seqs := cacheTestSeqs(40)
+	keyedA, err := seqdb.Restore(seqs, seqdb.New(seqs, true).Order(), true, "swdb:test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyedB, err := seqdb.Restore(seqs, keyedA.Order(), true, "swdb:test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainA := seqdb.New(seqs, true)
+	plainB := seqdb.New(seqs, true)
+
+	b := NewBackend("xeon#0", device.Xeon(), 0)
+	query := sequence.FromString("q", "MKWVTFISLLLLFSSAYS")
+	opt := SearchOptions{Params: Params{GapOpen: 10, GapExtend: 2, Blocked: true}}
+
+	var want *Result
+	for i, db := range []*seqdb.Database{keyedA, keyedB} {
+		res, err := b.Search(db, query, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+		} else if len(res.Scores) != len(want.Scores) {
+			t.Fatalf("score lists diverge across keyed loads")
+		}
+	}
+	if got := len(b.engines); got != 1 {
+		t.Fatalf("%d cached engines for two same-key databases, want 1 shared", got)
+	}
+
+	for _, db := range []*seqdb.Database{plainA, plainB} {
+		if _, err := b.Search(db, query, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(b.engines); got != 3 {
+		t.Fatalf("%d cached engines, want 3 (1 shared keyed + 2 pointer-keyed)", got)
+	}
+}

@@ -1,0 +1,117 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"heterosw/internal/seqdb"
+)
+
+// validImage builds one well-formed index image for mutation.
+func validImage(t testing.TB) []byte {
+	t.Helper()
+	db := seqdb.New(randSeqs(42, 30, 120), true)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// reseal recomputes and stores the checksum after a deliberate payload
+// mutation, so structural validation — not the checksum — is what rejects
+// the file.
+func reseal(data []byte) {
+	binary.LittleEndian.PutUint64(data[56:64], checksum(data[:56], data[headerSize:]))
+}
+
+// TestCorruption pins one distinct sentinel per failure mode — and that
+// none of them panics.
+func TestCorruption(t *testing.T) {
+	base := validImage(t)
+	// The offset table starts after the alphabet and the lengths table.
+	nSeqs := int(binary.LittleEndian.Uint64(base[16:24]))
+	offTable := headerSize + 24 + 4*nSeqs
+
+	cases := []struct {
+		name   string
+		mutate func(data []byte) []byte
+		want   error
+	}{
+		{"truncated-mid-arena", func(d []byte) []byte { return d[:len(d)-5] }, ErrTruncated},
+		{"truncated-header", func(d []byte) []byte { return d[:17] }, ErrTruncated},
+		{"trailing-garbage", func(d []byte) []byte { return append(d, 0xFF) }, ErrTruncated},
+		{"bad-magic", func(d []byte) []byte { d[0] = 'X'; return d }, ErrBadMagic},
+		{"wrong-version", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], 99)
+			return d
+		}, ErrBadVersion},
+		{"flipped-checksum-byte", func(d []byte) []byte { d[56] ^= 0x01; return d }, ErrBadChecksum},
+		{"flipped-payload-byte", func(d []byte) []byte { d[len(d)-1] ^= 0x40; return d }, ErrBadChecksum},
+		{"flipped-header-byte", func(d []byte) []byte { d[48] ^= 0x20; return d }, ErrBadChecksum}, // maxLen is checksummed too
+		{"offset-past-eof", func(d []byte) []byte {
+			// Point the first sequence's offset past the arena, then
+			// reseal so the checksum is consistent with the corruption.
+			binary.LittleEndian.PutUint64(d[offTable:], 1<<40)
+			reseal(d)
+			return d
+		}, ErrBadOffset},
+		{"order-not-permutation", func(d []byte) []byte {
+			orderTable := offTable + 8*nSeqs
+			binary.LittleEndian.PutUint32(d[orderTable:], binary.LittleEndian.Uint32(d[orderTable+4:]))
+			reseal(d)
+			return d
+		}, ErrBadLayout},
+		{"bad-alphabet", func(d []byte) []byte {
+			d[headerSize] = '?'
+			reseal(d)
+			return d
+		}, ErrBadLayout},
+		{"empty", func(d []byte) []byte { return nil }, ErrTruncated},
+		{"magic-only", func(d []byte) []byte { return d[:4] }, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), base...))
+			ix, err := Read(data)
+			if err == nil {
+				t.Fatalf("corrupted image opened: %v", ix.Database())
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrBadIndex) {
+				t.Fatalf("err = %v does not wrap ErrBadIndex", err)
+			}
+		})
+	}
+}
+
+// FuzzReadArbitrary feeds arbitrary bytes to Read: every outcome must be a
+// clean error or a valid database — never a panic. Seeded with a valid
+// image so the fuzzer explores mutations of real structure.
+func FuzzReadArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SWDB"))
+	f.Add(validImage(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Read(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadIndex) {
+				t.Fatalf("non-family error: %v", err)
+			}
+			return
+		}
+		// A successful open must yield an internally consistent database.
+		db := ix.Database()
+		var residues int64
+		for i := 0; i < db.Len(); i++ {
+			residues += int64(db.Seq(i).Len())
+		}
+		if residues != db.Residues() {
+			t.Fatalf("inconsistent database: %d residues, reports %d", residues, db.Residues())
+		}
+	})
+}

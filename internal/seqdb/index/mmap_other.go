@@ -1,0 +1,11 @@
+//go:build !unix
+
+package index
+
+import "os"
+
+// readFileMapped reads path into memory on platforms without mmap
+// support; still one contiguous buffer, still zero per-sequence copies.
+func readFileMapped(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

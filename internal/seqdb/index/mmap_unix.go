@@ -1,0 +1,36 @@
+//go:build unix
+
+package index
+
+import (
+	"os"
+	"syscall"
+)
+
+// readFileMapped maps path read-only into memory — the true map-and-go
+// open: no copy of the residue arena is ever made, the kernel pages the
+// file in on first touch (the checksum pass), and the pages are shared
+// with every other process holding the same index. The mapping lives as
+// long as the database does; indexes back long-lived servers, so no
+// munmap path is provided. Falls back to a plain read when mmap fails
+// (exotic filesystems, empty files).
+func readFileMapped(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return os.ReadFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

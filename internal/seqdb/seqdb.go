@@ -24,6 +24,13 @@ type Database struct {
 
 	totalResidues int64
 	maxLen        int
+
+	// key is a content-identity fingerprint for index-backed databases
+	// (and their derived shards): two databases with the same non-empty
+	// key hold identical sequences in identical order, so per-database
+	// pre-processing (engines, lane packings) can be shared between them.
+	// Empty for ad-hoc databases, whose identity is their pointer.
+	key string
 }
 
 // New builds a database over seqs. When sortByLength is true the processing
@@ -32,7 +39,7 @@ type Database struct {
 // waste little padding. (Ascending order also keeps the geometrically
 // shrinking chunks of OpenMP guided scheduling balanced, which is why the
 // paper finds guided only slightly behind dynamic.) seqs is not copied and
-// must not be mutated.
+// must not be mutated; a nil slice builds a valid empty database.
 func New(seqs []*sequence.Sequence, sortByLength bool) *Database {
 	db := &Database{
 		seqs:   seqs,
@@ -54,8 +61,48 @@ func New(seqs []*sequence.Sequence, sortByLength bool) *Database {
 	return db
 }
 
+// Restore rebuilds a database from already-preprocessed parts: sequences in
+// caller order plus the processing-order permutation, skipping New's
+// length sort. This is the O(n) construction path of the on-disk index
+// loader — the permutation was computed once at build time by the exact
+// sort New performs, so loading pays neither the parse nor the sort.
+// key, when non-empty, records the content identity (see Key). order is
+// not copied and must not be mutated.
+func Restore(seqs []*sequence.Sequence, order []int, sorted bool, key string) (*Database, error) {
+	if len(order) != len(seqs) {
+		return nil, fmt.Errorf("seqdb: %d order entries for %d sequences", len(order), len(seqs))
+	}
+	db := &Database{seqs: seqs, order: order, sorted: sorted, key: key}
+	seen := make([]bool, len(seqs))
+	for _, si := range order {
+		if si < 0 || si >= len(seqs) || seen[si] {
+			return nil, fmt.Errorf("seqdb: order is not a permutation of [0,%d)", len(seqs))
+		}
+		seen[si] = true
+	}
+	for _, s := range seqs {
+		db.totalResidues += int64(s.Len())
+		if s.Len() > db.maxLen {
+			db.maxLen = s.Len()
+		}
+	}
+	return db, nil
+}
+
 // Len returns the number of sequences.
 func (db *Database) Len() int { return len(db.seqs) }
+
+// Key returns the database's content-identity fingerprint: non-empty for
+// index-backed databases and shards derived from them, where equal keys
+// guarantee identical sequences in identical order. Per-database caches
+// (backend engines) use it to share pre-processing across distinct Database
+// values loaded or split from the same on-disk index.
+func (db *Database) Key() string { return db.key }
+
+// Order returns a copy of the processing order: Order()[i] is the caller
+// index of the i-th sequence processed. The index writer persists it so
+// loading can restore the length sort without re-sorting.
+func (db *Database) Order() []int { return append([]int(nil), db.order...) }
 
 // Seq returns the sequence with the caller-visible index i (original
 // order).
@@ -279,6 +326,14 @@ func (db *Database) SplitN(fracs []float64) ([]*Database, [][]int) {
 	out := make([]*Database, len(fracs))
 	for i := range out {
 		out[i] = New(seqs[i], db.sorted)
+		if db.key != "" {
+			// The deal is deterministic in (key, fracs), so the child key
+			// identifies the shard's exact content — a rebuilt split of the
+			// same index reuses the shard's cached engines. %x encodes each
+			// fraction exactly (hex float), so fracs that differ anywhere in
+			// their 64 bits can never collide onto one shard key.
+			out[i].key = fmt.Sprintf("%s|split%x#%d", db.key, fracs, i)
+		}
 	}
 	return out, idx
 }
@@ -302,7 +357,11 @@ func (db *Database) OrderSlice(start, end int) (*Database, []int) {
 		seqs = append(seqs, db.seqs[si])
 		idx = append(idx, si)
 	}
-	return New(seqs, db.sorted), idx
+	out := New(seqs, db.sorted)
+	if db.key != "" {
+		out.key = fmt.Sprintf("%s|win%d-%d", db.key, start, end)
+	}
+	return out, idx
 }
 
 // OrderLengths returns the sequence lengths in processing order.

@@ -419,3 +419,87 @@ func TestPackShapesMatchesPartition(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptyDatabase pins the empty-database edge cases the index fuzz
+// seeds exercise: a nil sequence slice is a valid input, MeanLen must not
+// divide by zero, and every derived view stays well-defined.
+func TestEmptyDatabase(t *testing.T) {
+	for _, db := range []*Database{New(nil, true), New([]*sequence.Sequence{}, false)} {
+		if db.Len() != 0 || db.Residues() != 0 || db.MaxLen() != 0 {
+			t.Fatalf("empty database stats: %s", db)
+		}
+		if got := db.MeanLen(); got != 0 {
+			t.Fatalf("MeanLen of empty database = %v, want 0 (no division by zero)", got)
+		}
+		groups, long := db.Partition(16, 3072)
+		if len(groups) != 0 || len(long) != 0 {
+			t.Fatalf("empty partition: %d groups, %d long", len(groups), len(long))
+		}
+		if got := len(db.OrderLengths()); got != 0 {
+			t.Fatalf("OrderLengths length %d", got)
+		}
+		parts, idx := db.SplitN([]float64{0.5, 0.5})
+		if len(parts) != 2 || parts[0].Len()+parts[1].Len() != 0 || len(idx[0])+len(idx[1]) != 0 {
+			t.Fatal("empty SplitN misbehaved")
+		}
+		win, widx := db.OrderSlice(0, 5)
+		if win.Len() != 0 || len(widx) != 0 {
+			t.Fatal("empty OrderSlice misbehaved")
+		}
+	}
+}
+
+// TestRestore pins the O(n) construction path the index loader uses: the
+// stored permutation reproduces exactly what New computes, and invalid
+// permutations are rejected.
+func TestRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seqs := makeSeqs(rng, 60, 80)
+	want := New(seqs, true)
+	got, err := Restore(seqs, want.Order(), true, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != "k" || !got.Sorted() {
+		t.Fatalf("Key/Sorted = %q/%v", got.Key(), got.Sorted())
+	}
+	if got.Residues() != want.Residues() || got.MaxLen() != want.MaxLen() {
+		t.Fatalf("stats %v, want %v", got, want)
+	}
+	wantOrder, gotOrder := want.OrderLengths(), got.OrderLengths()
+	for i := range wantOrder {
+		if wantOrder[i] != gotOrder[i] {
+			t.Fatalf("order lengths diverge at %d", i)
+		}
+	}
+	if _, err := Restore(seqs, want.Order()[:10], true, ""); err == nil {
+		t.Fatal("short order accepted")
+	}
+	bad := want.Order()
+	bad[0] = bad[1] // repeated entry: not a permutation
+	if _, err := Restore(seqs, bad, true, ""); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	bad[0] = len(seqs) // out of range
+	if _, err := Restore(seqs, bad, true, ""); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+	if empty, err := Restore(nil, nil, true, ""); err != nil || empty.Len() != 0 {
+		t.Fatalf("empty Restore: %v, %v", empty, err)
+	}
+}
+
+// TestKeyPropagation pins that derived databases inherit identity only
+// from keyed parents: ad-hoc databases and their children stay keyless.
+func TestKeyPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	db := New(makeSeqs(rng, 30, 60), true)
+	if db.Key() != "" {
+		t.Fatalf("ad-hoc database has key %q", db.Key())
+	}
+	parts, _ := db.SplitN([]float64{0.5, 0.5})
+	win, _ := db.OrderSlice(0, 10)
+	if parts[0].Key() != "" || win.Key() != "" {
+		t.Fatal("children of a keyless database gained keys")
+	}
+}
