@@ -23,6 +23,7 @@ import (
 	"heterosw/internal/sequence"
 	"heterosw/internal/submat"
 	"heterosw/internal/swalign"
+	"heterosw/internal/vec"
 )
 
 const benchFigureScale = 0.05
@@ -201,6 +202,23 @@ func BenchmarkKernelIntrinsicSP32(b *testing.B) {
 func BenchmarkKernelIntrinsicSPBlocked(b *testing.B) {
 	newKernelBench(b, core.IntrinsicSP, 16, true).run(b)
 }
+
+// Portable-backend twins of the intrinsic microbenchmarks: identical
+// workloads with internal/vec's pure-Go loops forced. On an AVX2 host the
+// pair measures the native backend's speedup directly; committed side by
+// side in the benchmark artifact they let the wall-GCUPS gate catch a
+// silently lost native backend (mis-detected CPU feature, broken
+// dispatch) rather than only gross portable-loop regressions.
+func benchKernelPortable(b *testing.B, variant core.Variant, lanes int) {
+	b.Helper()
+	kb := newKernelBench(b, variant, lanes, false)
+	prev := vec.ForcePortable(true)
+	defer vec.ForcePortable(prev)
+	kb.run(b)
+}
+
+func BenchmarkKernelIntrinsicSPPortable(b *testing.B) { benchKernelPortable(b, core.IntrinsicSP, 16) }
+func BenchmarkKernelIntrinsicQPPortable(b *testing.B) { benchKernelPortable(b, core.IntrinsicQP, 16) }
 
 // Precision-ladder microbenchmark: the 8-bit first pass vs the 16-bit
 // pass over short-sequence lane groups — the packing the ladder exists

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Kernel|Stream' -benchtime=1x . | benchjson -out BENCH.json
-//	benchjson -diff [-max-regress 0.20] BENCH_old.json BENCH_new.json
+//	benchjson -diff [-max-regress 0.20] [-max-regress-wall 0.50] BENCH_old.json BENCH_new.json
 //
 // Standard ns/op values and every custom metric (Mcells/s, sim-GCUPS,
 // queries/s, ...) are carried through verbatim; two normalised fields,
@@ -17,11 +17,16 @@
 // deterministic simulated metric ("sim") or from host wall time ("wall").
 //
 // Diff mode compares the gcups of benchmarks present in both artifacts.
-// Only "sim"-sourced values gate: they come from the device models and are
-// identical on any machine, so a drop is a real cost-model or kernel
-// regression, not runner noise. Wall-sourced values are printed for
-// information only. The exit status is 1 when any gated benchmark regressed
-// by more than -max-regress (a fraction; 0.20 = 20%).
+// "sim"-sourced values come from the device models and are identical on
+// any machine, so any drop beyond -max-regress is a real cost-model or
+// kernel regression. "wall"-sourced values measure host throughput —
+// since the native vector backend landed they gate too, against the
+// looser -max-regress-wall threshold: runner-to-runner noise is real but
+// bounded, while losing the native backend (a mis-detected CPU feature, a
+// dispatch regression) costs an order of magnitude and must fail CI. Pass
+// a negative -max-regress-wall to restore info-only wall reporting. The
+// exit status is 1 when any gated benchmark regressed beyond its
+// threshold (fractions; 0.20 = 20%).
 package main
 
 import (
@@ -116,10 +121,10 @@ func readArtifact(path string) (*Artifact, error) {
 	return &art, nil
 }
 
-// diff compares two artifacts on the benchmarks they share, gating on
-// "sim"-sourced gcups. It returns the number of gated regressions beyond
-// maxRegress.
-func diff(oldArt, newArt *Artifact, maxRegress float64) int {
+// diff compares two artifacts on the benchmarks they share: "sim"-sourced
+// gcups gate at maxRegress, "wall"-sourced at maxRegressWall (negative
+// disables wall gating). It returns the number of gated regressions.
+func diff(oldArt, newArt *Artifact, maxRegress, maxRegressWall float64) int {
 	oldBy := make(map[string]Benchmark, len(oldArt.Benchmarks))
 	for _, b := range oldArt.Benchmarks {
 		oldBy[b.Name] = b
@@ -146,7 +151,15 @@ func diff(oldArt, newArt *Artifact, maxRegress float64) int {
 		verdict := "ok"
 		switch {
 		case o.GCUPSSource != "sim" || n.GCUPSSource != "sim":
-			verdict = "info (wall-clock, not gated)"
+			switch {
+			case maxRegressWall < 0:
+				verdict = "info (wall-clock, not gated)"
+			case delta < -maxRegressWall:
+				verdict = fmt.Sprintf("REGRESSION (wall, > %.0f%%)", maxRegressWall*100)
+				regressions++
+			default:
+				verdict = "ok (wall)"
+			}
 		case delta < -maxRegress:
 			verdict = fmt.Sprintf("REGRESSION (> %.0f%%)", maxRegress*100)
 			regressions++
@@ -160,6 +173,7 @@ func main() {
 	out := flag.String("out", "", "output file (stdout when empty)")
 	diffMode := flag.Bool("diff", false, "compare two artifacts: benchjson -diff old.json new.json")
 	maxRegress := flag.Float64("max-regress", 0.20, "with -diff: maximum tolerated fractional drop in simulated GCUPS")
+	maxRegressWall := flag.Float64("max-regress-wall", 0.50, "with -diff: maximum tolerated fractional drop in wall-clock GCUPS (negative = info only)")
 	flag.Parse()
 
 	if *diffMode {
@@ -177,8 +191,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		if n := diff(oldArt, newArt, *maxRegress); n > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d simulated-GCUPS regression(s) beyond %.0f%%\n", n, *maxRegress*100)
+		if n := diff(oldArt, newArt, *maxRegress, *maxRegressWall); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d GCUPS regression(s) beyond threshold (sim %.0f%%, wall %.0f%%)\n",
+				n, *maxRegress*100, *maxRegressWall*100)
 			os.Exit(1)
 		}
 		return

@@ -75,6 +75,7 @@ func main() {
 	w := figures.NewWorkload(*scale)
 	fmt.Fprintf(out, "# swbench: %s\n", w)
 	fmt.Fprintf(out, "# devices: Xeon (16c/32t, 256-bit) + Xeon Phi (60c/240t, 512-bit); BLOSUM62, gaps 10/2\n")
+	fmt.Fprintf(out, "# vec backend: %s\n", device.HostSIMD())
 	fmt.Fprintf(out, "# GCUPS below are simulated-device throughput (see DESIGN.md section 6)\n\n")
 
 	var figs []*figures.Figure

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"heterosw"
+	hostdev "heterosw/internal/device"
 )
 
 func main() {
@@ -122,6 +123,7 @@ func main() {
 
 	fmt.Printf("database: %s\n", db)
 	fmt.Printf("query:    %s (%d aa)\n", query.ID(), query.Len())
+	fmt.Printf("vec:      %s\n", hostdev.HostSIMD())
 
 	start := time.Now()
 	var res *heterosw.Result

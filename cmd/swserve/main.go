@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"heterosw"
+	"heterosw/internal/device"
 )
 
 func main() {
@@ -113,6 +114,7 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("swserve: %s\n", db)
+	fmt.Printf("swserve: vec backend %s\n", device.HostSIMD())
 	fmt.Printf("swserve: roster %v, dist %s; listening on %s\n", opt.Devices, *dist, *listen)
 
 	stop := make(chan os.Signal, 1)

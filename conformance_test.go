@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"heterosw/internal/datagen"
+	"heterosw/internal/vec"
 )
 
 // The cross-path conformance harness: a FASTA-loaded database and a
@@ -234,6 +235,64 @@ func TestConformanceFASTAvsIndex(t *testing.T) {
 				if !bytes.Equal(f, s) {
 					t.Errorf("%s: FASTA and swdb results diverge\n--- fasta ---\n%s\n--- swdb ---\n%s",
 						entry, truncate(f), truncate(s))
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceNativeVsPortable is the cross-backend leg of the same
+// harness: on hosts where internal/vec selected the native AVX2 backend,
+// every result served off the native column kernels must be byte-identical
+// to the same search with the portable pure-Go loops forced — across the
+// plain, 8-bit-ladder and full-reporting variants, on all five entry
+// points. Skipped (vacuous) where the portable backend is the only one.
+func TestConformanceNativeVsPortable(t *testing.T) {
+	if !vec.Native() {
+		t.Skipf("vec backend is %q; native vs portable conformance is vacuous", vec.Backend())
+	}
+	fastaPath, _, queries := confSetup(t)
+
+	cases := []struct {
+		name string
+		opts ClusterOptions
+		rep  ReportOptions
+	}{
+		{"intrinsic-SP", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP}}, ReportOptions{TopK: 5}},
+		{"intrinsic-QP", ClusterOptions{Options: Options{Variant: VariantIntrinsicQP}}, ReportOptions{TopK: 5}},
+		{"simd-SP", ClusterOptions{Options: Options{Variant: VariantGuidedSP}}, ReportOptions{TopK: 5}},
+		{"ladder-SP-8bit", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP8}}, ReportOptions{TopK: 5}},
+		{"ladder-QP-8bit", ClusterOptions{Options: Options{Variant: VariantIntrinsicQP8}}, ReportOptions{TopK: 5}},
+		{"aligned-evalue", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP}, Dist: "dynamic"},
+			ReportOptions{TopK: 5, Alignments: true, EValues: true}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results := make(map[string]map[string][]byte, 2)
+			for _, backend := range []string{"native", "portable"} {
+				if backend == "portable" {
+					prev := vec.ForcePortable(true)
+					defer vec.ForcePortable(prev)
+				}
+				db, err := LoadDatabaseFile(fastaPath)
+				if err != nil {
+					t.Fatalf("%s: %v", backend, err)
+				}
+				cl, err := NewCluster(db, tc.opts)
+				if err != nil {
+					t.Fatalf("%s: %v", backend, err)
+				}
+				results[backend] = confEntryPoints(t, cl, queries, tc.rep)
+			}
+			for _, entry := range []string{"Search", "SearchBatch", "SearchScheduled", "Stream", "HTTP"} {
+				n, p := results["native"][entry], results["portable"][entry]
+				if n == nil || p == nil {
+					t.Fatalf("%s: missing surface output", entry)
+				}
+				if !bytes.Equal(n, p) {
+					t.Errorf("%s: native and portable results diverge\n--- native ---\n%s\n--- portable ---\n%s",
+						entry, truncate(n), truncate(p))
 				}
 			}
 		})

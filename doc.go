@@ -36,9 +36,16 @@
 //     bit score and E-value from a Gumbel null model fitted over the full
 //     score distribution — see ReportOptions, Hit.Alignment,
 //     Hit.Significance and WriteReport;
+//   - a native AVX2 vector backend for the kernels' SIMD primitive set
+//     (internal/vec): on amd64 hosts with AVX2 the inter-task kernels run
+//     hand-written assembly column steps (16x int16 / 32x uint8 lanes per
+//     256-bit register) selected by runtime CPU detection, with the
+//     portable pure-Go loops as the verified fallback everywhere else —
+//     set HETEROSW_VEC=portable (or build with -tags purego) to force
+//     the portable backend; both backends return bit-identical scores;
 //   - deterministic performance models of the paper's two devices (dual
 //     Xeon E5-2670 host, 60-core Xeon Phi) that report simulated GCUPS
-//     alongside the real wall-clock throughput of the pure-Go kernels;
+//     alongside the real wall-clock throughput of the Go kernels;
 //   - a synthetic Swiss-Prot workload generator matching the statistics of
 //     the paper's benchmark database, plus FASTA I/O for real data;
 //   - a persistent preprocessed database format (.swdb): a versioned,

@@ -88,17 +88,22 @@ func (p Params) blockRows() int {
 type Buffers struct {
 	lanes int
 
-	// 16-bit state for the intrinsic kernels.
-	h16, e16              []int16 // column state, (rows+1) * lanes
-	hb16, fb16            []int16 // block boundary rows, width * lanes
-	f16, diag16, up16     vec.I16 // lane temporaries
-	sc16, t16, u16, max16 vec.I16
+	// 16-bit state for the intrinsic kernels. he16 is one contiguous slab
+	// holding both the H and E tile arrays ((rows+1)*lanes each) so the
+	// fused column steps walk a single cache-friendly block; h16/e16 are
+	// the striped kernel's row scratch.
+	h16, e16    []int16 // striped row state, tiles * lanes
+	he16        []int16 // intrinsic tile state, 2 * (rows+1) * lanes
+	hb16, fb16  []int16 // block boundary rows, width * lanes
+	f16, diag16 vec.I16 // lane temporaries
+	max16       vec.I16
 
 	// 8-bit state for the ladder's first pass.
-	h8, e8           []uint8 // column state, (rows+1) * lanes
+	h8, e8           []uint8 // striped row state, tiles * lanes
+	he8              []uint8 // intrinsic tile state, 2 * (rows+1) * lanes
 	hb8, fb8         []uint8 // block boundary rows, width * lanes
 	f8, diag8        vec.U8  // lane temporaries
-	sc8, max8        vec.U8
+	max8             vec.U8
 	sr8              *profile.ScoreRows8
 	lane16H, lane16E []int16 // 16-bit scalar recompute state, query length + 1
 	striped8         []uint8 // striped 8-bit profile scratch
@@ -125,10 +130,6 @@ func NewBuffers(lanes int) *Buffers {
 		lanes:  lanes,
 		f16:    make(vec.I16, lanes),
 		diag16: make(vec.I16, lanes),
-		up16:   make(vec.I16, lanes),
-		sc16:   make(vec.I16, lanes),
-		t16:    make(vec.I16, lanes),
-		u16:    make(vec.I16, lanes),
 		max16:  make(vec.I16, lanes),
 		f32:    make([]int32, lanes),
 		max32:  make([]int32, lanes),
@@ -138,7 +139,6 @@ func NewBuffers(lanes int) *Buffers {
 		idx:    make([]uint8, lanes),
 		f8:     make(vec.U8, lanes),
 		diag8:  make(vec.U8, lanes),
-		sc8:    make(vec.U8, lanes),
 		max8:   make(vec.U8, lanes),
 		sr8:    profile.NewScoreRows8(lanes),
 	}

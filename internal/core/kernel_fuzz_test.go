@@ -10,6 +10,7 @@ import (
 	"heterosw/internal/sequence"
 	"heterosw/internal/submat"
 	"heterosw/internal/swalign"
+	"heterosw/internal/vec"
 )
 
 // Caps bounding one fuzz execution: large enough to cross the int16
@@ -122,6 +123,16 @@ func FuzzKernelParity(f *testing.F) {
 	f.Add(w23, append(append([]byte{}, w23...), fuzzSeqDelim, w), uint8(1), paperPens, uint8(0))                         // saturating lane beside a 1-residue lane
 	f.Add(wRun[:256], wRun[:256], uint8(6), uint8(0), uint8(3))                                                          // deep zero-penalty plateau over the rail
 
+	// Backend-dispatch edges: the native AVX2 column kernels only engage
+	// on full 16-lane (int16) / 32-lane (uint8) groups, so sequence counts
+	// one past a group boundary exercise the mixed native-group +
+	// portable-tail packing, and a saturating lane inside an odd tail pins
+	// the rails on both sides of the dispatch split.
+	lane17 := bytes.Repeat([]byte{w, fuzzSeqDelim}, 17) // one past a 16-lane group
+	f.Add(wRun[:48], lane17, uint8(6), paperPens, uint8(1))
+	f.Add(w23, append(bytes.Repeat([]byte{w, fuzzSeqDelim}, 32), w23...), uint8(7), paperPens, uint8(2)) // 33 lanes, saturating tail lane
+	f.Add(wRun[:128], bytes.Repeat([]byte{w, fuzzSeqDelim}, 31), uint8(7), uint8(0), uint8(0))           // 31 lanes: just under the u8 group width
+
 	lanesTable := []int{1, 2, 3, 4, 8, 16, 32, 64}
 	blockTable := []int{0, 1, 7, 64}
 
@@ -167,19 +178,34 @@ func FuzzKernelParity(f *testing.F) {
 			{IntrinsicSP, Prec8},
 			{IntrinsicQP, Prec8},
 		}
-		for _, s := range specs {
-			if s.prec == Prec8 && !ladderOK {
-				continue
+		runSpecs := func(tag string, vecOnly bool) {
+			for _, s := range specs {
+				if s.prec == Prec8 && !ladderOK {
+					continue
+				}
+				if vecOnly && s.v.Vec() == VecNone {
+					continue
+				}
+				pv := p
+				pv.Variant = s.v
+				pv.Prec = s.prec
+				vl := lanes
+				if s.v.Vec() == VecNone {
+					vl = 1
+				}
+				got, _ := runVariantQuiet(db, qp, pv, vl)
+				check(VariantSpec(s.v, s.prec)+tag, got)
 			}
-			pv := p
-			pv.Variant = s.v
-			pv.Prec = s.prec
-			vl := lanes
-			if s.v.Vec() == VecNone {
-				vl = 1
-			}
-			got, _ := runVariantQuiet(db, qp, pv, vl)
-			check(VariantSpec(s.v, s.prec), got)
+		}
+		runSpecs("", false)
+		// On AVX2 hosts the pass above ran the native backend; replay the
+		// vectorised kernels with the portable loops forced so every input
+		// pins native == portable == oracle. Without AVX2 both passes would
+		// be identical, so the replay is skipped.
+		if vec.Native() {
+			prev := vec.ForcePortable(true)
+			runSpecs(" [portable]", true)
+			vec.ForcePortable(prev)
 		}
 
 		buf := NewBuffers(stripedLanes8)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"heterosw/internal/alphabet"
 	"heterosw/internal/profile"
 	"heterosw/internal/seqdb"
 	"heterosw/internal/vec"
@@ -38,14 +39,15 @@ func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Bu
 	r := int16(p.GapExtend)
 	isQP := p.Variant.Prof() == ProfQuery
 
-	h := grow16(&buf.h16, (B+1)*L)
-	e := grow16(&buf.e16, (B+1)*L)
+	// H and E share one contiguous slab so a tile's hot state is a single
+	// block; each holds (B+1)*L entries with row 0 the tile boundary row.
+	he := grow16(&buf.he16, 2*(B+1)*L)
+	h, e := he[:(B+1)*L], he[(B+1)*L:]
 	hb := grow16(&buf.hb16, (N+1)*L)
 	fb := grow16(&buf.fb16, (N+1)*L)
 	maxv := buf.max16
 	fcol := buf.f16
 	diagv := buf.diag16
-	sc := buf.sc16
 
 	vec.Set1(maxv, 0)
 	for i := range hb {
@@ -53,6 +55,14 @@ func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Bu
 		fb[i] = vec.MinI16
 	}
 
+	// The per-row vector-op sequence (AddSat diag+score; Max with E, F,
+	// zero; MaxInto tracker; SubSatConst/Max updates of E and F) is fused
+	// into one vec column step per database column, amortising dispatch
+	// across the whole tile and keeping F, the diagonal and the tracker
+	// register-resident on the native backend. internal/vec holds the
+	// unfused reference semantics; the device model costs the individual
+	// operations.
+	seqBytes := alphabet.BytesView(q.Seq)
 	for i0 := 1; i0 <= M; i0 += B {
 		i1 := i0 + B - 1
 		if i1 > M {
@@ -64,74 +74,19 @@ func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Bu
 			e[i] = vec.MinI16
 		}
 		vec.Set1(diagv, 0)
+		tileSeq := seqBytes[i0-1 : i1]
+		tileQP := q.QP[(i0-1)*profile.TableWidth:]
 		for jj := 1; jj <= N; jj++ {
 			col := g.Interleaved[(jj-1)*L : jj*L]
-			if !isQP {
-				buf.sr.Build(q, col)
-			}
 			fbRow := vec.I16(fb[jj*L : jj*L+L])
 			copy(fcol, fbRow)
-			for ri := 0; ri < rows; ri++ {
-				i := i0 + ri
-				hrow := vec.I16(h[(ri+1)*L : (ri+2)*L])
-				erow := vec.I16(e[(ri+1)*L : (ri+2)*L])
-				var scoreVec vec.I16
-				if isQP {
-					vec.Gather(sc, q.QPRow(i-1), col)
-					scoreVec = sc
-				} else {
-					scoreVec = buf.sr.Row(int(q.Seq[i-1]))
-				}
-				// Fused register-resident form of the per-row vector-op
-				// sequence (AddSat diag+score; Max with E, F, zero;
-				// MaxInto tracker; SubSatConst/Max updates of E and F).
-				// internal/vec holds the unfused reference semantics;
-				// the device model costs the individual operations.
-				scoreVec = scoreVec[:L]
-				erow = erow[:L]
-				hrow = hrow[:L]
-				for l := 0; l < L; l++ {
-					up := hrow[l]
-					hv := int32(diagv[l]) + int32(scoreVec[l])
-					if hv > vec.MaxI16 {
-						hv = vec.MaxI16
-					}
-					// The low rail is unreachable: diag >= 0 and scores
-					// are bounded by the matrix range.
-					ev, fv := erow[l], fcol[l]
-					if int32(ev) > hv {
-						hv = int32(ev)
-					}
-					if int32(fv) > hv {
-						hv = int32(fv)
-					}
-					if hv < 0 {
-						hv = 0
-					}
-					h16 := int16(hv)
-					if h16 > maxv[l] {
-						maxv[l] = h16
-					}
-					uv := hv - int32(qr) // no saturation: hv <= MaxI16
-					e32 := int32(ev) - int32(r)
-					if e32 < vec.MinI16 {
-						e32 = vec.MinI16
-					}
-					if uv > e32 {
-						e32 = uv
-					}
-					erow[l] = int16(e32)
-					f32 := int32(fv) - int32(r)
-					if f32 < vec.MinI16 {
-						f32 = vec.MinI16
-					}
-					if uv > f32 {
-						f32 = uv
-					}
-					fcol[l] = int16(f32)
-					diagv[l] = up
-					hrow[l] = h16
-				}
+			if isQP {
+				vec.StepCol16QP(vec.I16(h[L:]), vec.I16(e[L:]), fcol, diagv, maxv,
+					tileQP, profile.TableWidth, col, rows, L, qr, r)
+			} else {
+				buf.sr.Build(q, col)
+				vec.StepCol16SP(vec.I16(h[L:]), vec.I16(e[L:]), fcol, diagv, maxv,
+					buf.sr.Raw(), tileSeq, rows, L, qr, r)
 			}
 			hbRow := vec.I16(hb[jj*L : jj*L+L])
 			copy(diagv, hbRow)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"heterosw/internal/alphabet"
 	"heterosw/internal/profile"
 	"heterosw/internal/seqdb"
 	"heterosw/internal/vec"
@@ -78,14 +79,14 @@ func alignGroupIntrinsic8(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *B
 		st.Safe8Groups = 1
 	}
 
-	h := grow8(&buf.h8, (B+1)*L)
-	e := grow8(&buf.e8, (B+1)*L)
+	// H and E share one contiguous slab, mirroring the 16-bit kernel.
+	he := grow8(&buf.he8, 2*(B+1)*L)
+	h, e := he[:(B+1)*L], he[(B+1)*L:]
 	hb := grow8(&buf.hb8, (N+1)*L)
 	fb := grow8(&buf.fb8, (N+1)*L)
 	maxv := buf.max8
 	fcol := buf.f8
 	diagv := buf.diag8
-	sc := buf.sc8
 
 	vec.Set1U8(maxv, 0)
 	for i := range hb {
@@ -93,6 +94,17 @@ func alignGroupIntrinsic8(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *B
 		fb[i] = 0 // true -inf clamps to the unsigned floor
 	}
 
+	// Gap penalties clamp to the byte rail exactly: H <= 255, so a
+	// saturating subtract of min(penalty, 255) equals the wide subtract
+	// clamped at zero.
+	qr8 := clampU8(int(qr))
+	r8 := clampU8(int(r))
+
+	// The byte-lane op sequence (AddSatU8 diag+biased score; SubSatU8Const
+	// bias; MaxU8s with E and F; MaxIntoU8 tracker; SubSatU8Const updates
+	// of E and F) is fused into one vec column step per database column;
+	// internal/vec holds the unfused reference semantics.
+	seqBytes := alphabet.BytesView(q.Seq)
 	for i0 := 1; i0 <= M; i0 += B {
 		i1 := i0 + B - 1
 		if i1 > M {
@@ -104,76 +116,19 @@ func alignGroupIntrinsic8(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *B
 			e[i] = 0
 		}
 		vec.Set1U8(diagv, 0)
+		tileSeq := seqBytes[i0-1 : i1]
+		tileQP := q.QP8[(i0-1)*profile.TableWidth:]
 		for jj := 1; jj <= N; jj++ {
 			col := g.Interleaved[(jj-1)*L : jj*L]
-			if !isQP {
-				buf.sr8.Build(q, col)
-			}
 			fbRow := vec.U8(fb[jj*L : jj*L+L])
 			copy(fcol, fbRow)
-			for ri := 0; ri < rows; ri++ {
-				i := i0 + ri
-				hrow := vec.U8(h[(ri+1)*L : (ri+2)*L])
-				erow := vec.U8(e[(ri+1)*L : (ri+2)*L])
-				var scoreVec vec.U8
-				if isQP {
-					vec.GatherU8(sc, q.QPRow8(i-1), col)
-					scoreVec = sc
-				} else {
-					scoreVec = buf.sr8.Row(int(q.Seq[i-1]))
-				}
-				// Fused register-resident form of the byte-lane op
-				// sequence (AddSatU8 diag+biased score; SubSatU8Const
-				// bias; MaxU8s with E and F; MaxIntoU8 tracker;
-				// SubSatU8Const updates of E and F). internal/vec holds
-				// the unfused reference semantics.
-				scoreVec = scoreVec[:L]
-				erow = erow[:L]
-				hrow = hrow[:L]
-				for l := 0; l < L; l++ {
-					up := hrow[l]
-					hv := int32(diagv[l]) + int32(scoreVec[l])
-					if hv > vec.MaxU8 {
-						hv = vec.MaxU8 // vpaddusb clip: the lane will escalate
-					}
-					hv -= bias
-					if hv < 0 {
-						hv = 0
-					}
-					ev, fv := erow[l], fcol[l]
-					if int32(ev) > hv {
-						hv = int32(ev)
-					}
-					if int32(fv) > hv {
-						hv = int32(fv)
-					}
-					h8 := uint8(hv)
-					if h8 > maxv[l] {
-						maxv[l] = h8
-					}
-					uv := hv - qr
-					if uv < 0 {
-						uv = 0
-					}
-					e2 := int32(ev) - r
-					if e2 < 0 {
-						e2 = 0
-					}
-					if uv > e2 {
-						e2 = uv
-					}
-					erow[l] = uint8(e2)
-					f2 := int32(fv) - r
-					if f2 < 0 {
-						f2 = 0
-					}
-					if uv > f2 {
-						f2 = uv
-					}
-					fcol[l] = uint8(f2)
-					diagv[l] = up
-					hrow[l] = h8
-				}
+			if isQP {
+				vec.StepCol8QP(vec.U8(h[L:]), vec.U8(e[L:]), fcol, diagv, maxv,
+					tileQP, profile.TableWidth, col, rows, L, q.Bias, qr8, r8)
+			} else {
+				buf.sr8.Build(q, col)
+				vec.StepCol8SP(vec.U8(h[L:]), vec.U8(e[L:]), fcol, diagv, maxv,
+					buf.sr8.Raw(), tileSeq, rows, L, q.Bias, qr8, r8)
 			}
 			hbRow := vec.U8(hb[jj*L : jj*L+L])
 			copy(diagv, hbRow)

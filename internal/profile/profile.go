@@ -69,13 +69,29 @@ type Query struct {
 // Bias8Viable reports whether the 8-bit biased profiles were built.
 func (q *Query) Bias8Viable() bool { return q.Ext8 != nil }
 
+// gatherPad16 and gatherPad8 are the spare capacities (in elements) the
+// profile tables carry past their logical length, so the native vector
+// backend's wide loads may over-read: vpgatherdd fetches a dword per
+// 16-bit entry (one element of over-read at the table end), and the 8-bit
+// shuffle lookup loads each 25-element row as two 16-byte halves (up to 7
+// bytes past the final row). internal/vec dispatches its gathering paths
+// only when the backing array has this headroom (checked via cap), so the
+// padding here is what makes the native QP and SP-build paths eligible.
+const (
+	gatherPad16 = 2
+	gatherPad8  = 8
+)
+
+func padded16(n int) []int16 { return make([]int16, n+gatherPad16)[:n] }
+func padded8(n int) []uint8  { return make([]uint8, n+gatherPad8)[:n] }
+
 // NewQuery builds the profiles for a query under a substitution matrix.
 func NewQuery(seq []alphabet.Code, m *submat.Matrix) *Query {
 	q := &Query{
 		Seq:      seq,
 		Matrix:   m,
-		QP:       make([]int16, len(seq)*TableWidth),
-		Ext:      make([]int16, TableWidth*TableWidth),
+		QP:       padded16(len(seq) * TableWidth),
+		Ext:      padded16(TableWidth * TableWidth),
 		MaxScore: m.Max(),
 	}
 	for e := 0; e < alphabet.Size; e++ {
@@ -111,14 +127,14 @@ func (q *Query) buildBias8() {
 		return // matrix range exceeds a byte; ladder starts at 16 bits
 	}
 	q.Bias = uint8(bias)
-	q.Ext8 = make([]uint8, len(q.Ext))
+	q.Ext8 = padded8(len(q.Ext))
 	for i, s := range q.Ext {
 		if int(s) == PadScore {
 			continue // padding stays 0
 		}
 		q.Ext8[i] = uint8(int(s) + bias)
 	}
-	q.QP8 = make([]uint8, len(q.QP))
+	q.QP8 = padded8(len(q.QP))
 	for i := range q.Seq {
 		copy(q.QP8[i*TableWidth:(i+1)*TableWidth], q.Ext8[int(q.Seq[i])*TableWidth:(int(q.Seq[i])+1)*TableWidth])
 	}
@@ -163,24 +179,22 @@ func (sr *ScoreRows) Lanes() int { return sr.lanes }
 
 // Build fills the score rows for the current column's lane residues.
 // residues must have length Lanes(); entries are residue indices in
-// [0, TableWidth).
+// [0, TableWidth). The transposition — each lane copies one column of Ext
+// — dispatches through vec.BuildRows16, which uses hardware gathers when
+// the native backend is selected (Ext carries the required spare
+// capacity) and a lane-major strided walk otherwise.
 func (sr *ScoreRows) Build(q *Query, residues []uint8) {
-	L := sr.lanes
-	// Walk lane-major: each lane copies the d-th column of Ext, i.e. one
-	// strided pass per lane — the transposition the real SP code performs
-	// with vector inserts.
-	for l, d := range residues {
-		src := q.Ext[int(d):] // column d via stride TableWidth
-		for e := 0; e < TableWidth; e++ {
-			sr.rows[e*L+l] = src[e*TableWidth]
-		}
-	}
+	vec.BuildRows16(sr.rows, q.Ext, residues, TableWidth, sr.lanes, TableWidth)
 }
 
 // Row returns the L-lane score vector for query residue index e.
 func (sr *ScoreRows) Row(e int) vec.I16 {
 	return vec.I16(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
 }
+
+// Raw exposes the packed row table (stride Lanes, TableWidth rows), the
+// form the fused column kernels in internal/vec consume directly.
+func (sr *ScoreRows) Raw() []int16 { return sr.rows }
 
 // ScoreRows8 is the biased uint8 score-profile scratch of the ladder's
 // 8-bit first pass, laid out exactly like ScoreRows.
@@ -197,16 +211,13 @@ func NewScoreRows8(lanes int) *ScoreRows8 {
 // Build fills the biased score rows for the current column's lane residues
 // from the query's Ext8 table; only valid when q.Bias8Viable().
 func (sr *ScoreRows8) Build(q *Query, residues []uint8) {
-	L := sr.lanes
-	for l, d := range residues {
-		src := q.Ext8[int(d):] // column d via stride TableWidth
-		for e := 0; e < TableWidth; e++ {
-			sr.rows[e*L+l] = src[e*TableWidth]
-		}
-	}
+	vec.BuildRows8(sr.rows, q.Ext8, residues, TableWidth, sr.lanes, TableWidth)
 }
 
 // Row returns the L-lane biased score vector for query residue index e.
 func (sr *ScoreRows8) Row(e int) vec.U8 {
 	return vec.U8(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
 }
+
+// Raw exposes the packed biased row table (stride Lanes, TableWidth rows).
+func (sr *ScoreRows8) Raw() []uint8 { return sr.rows }

@@ -1,0 +1,130 @@
+package vec
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Backend selection. The package ships two implementations of every
+// primitive: the portable pure-Go loops (the verified reference, and the
+// only implementation on non-amd64 hosts or under the purego build tag)
+// and hand-written AVX2 assembly in vec_amd64.s. The assembly is selected
+// per call when
+//
+//   - the binary was built with the native backend compiled in
+//     (GOARCH=amd64 and no purego tag),
+//   - the host CPU and OS support AVX2 (CPUID + XGETBV, checked once at
+//     process start),
+//   - the portable override is off (HETEROSW_VEC=portable in the
+//     environment, or ForcePortable(true) from a test), and
+//   - the lane count is a whole number of 256-bit registers (16 int16 or
+//     32 uint8 lanes); odd widths always take the portable loops.
+//
+// The two backends are lane-exact: every assembly routine computes the
+// same saturating two's-complement results as the Go reference, so kernel
+// output is byte-identical whichever is selected. That property is pinned
+// by the differential tests in this package, by core's FuzzKernelParity
+// (which replays the intrinsic kernels under both backends) and by the
+// repository's cross-backend conformance test.
+
+// EnvPortable is the environment variable consulted once at process
+// start: set HETEROSW_VEC=portable to force the pure-Go backend even on
+// AVX2-capable hosts (benchmark baselines, fallback-path CI legs).
+const EnvPortable = "HETEROSW_VEC"
+
+var (
+	// hasAVX2 is fixed at init: the binary has the assembly compiled in
+	// and the host CPU+OS can execute it.
+	hasAVX2 bool
+	// forcedPortable is the runtime override. Atomic so tests can flip
+	// backends while kernels run on other goroutines (conformance and
+	// parity tests); reads on the hot path are plain loads on amd64.
+	forcedPortable atomic.Bool
+)
+
+func init() {
+	hasAVX2 = asmSupported && detectNative()
+	if os.Getenv(EnvPortable) == "portable" {
+		forcedPortable.Store(true)
+	}
+}
+
+// enabled reports whether the native backend is selected right now.
+func enabled() bool { return hasAVX2 && !forcedPortable.Load() }
+
+// native16 reports whether a call over n int16 lanes dispatches to the
+// AVX2 backend. With asmSupported a compile-time false (non-amd64 or
+// purego), the whole test folds away.
+func native16(n int) bool { return asmSupported && n >= 16 && n&15 == 0 && enabled() }
+
+// native8 is native16 for uint8 lanes (32 per 256-bit register).
+func native8(n int) bool { return asmSupported && n >= 32 && n&31 == 0 && enabled() }
+
+// Native reports whether the AVX2 backend is currently selected for
+// register-width lane counts.
+func Native() bool { return enabled() }
+
+// Backend names the currently selected backend: "avx2" or "portable".
+func Backend() string {
+	if enabled() {
+		return "avx2"
+	}
+	return "portable"
+}
+
+// ForcePortable switches the portable backend on or off at runtime and
+// returns the previous override, so tests can restore it:
+//
+//	defer vec.ForcePortable(vec.ForcePortable(true))
+//
+// Forcing portable is always honoured; ForcePortable(false) re-enables
+// the native backend only where the host supports it.
+func ForcePortable(force bool) bool {
+	return forcedPortable.Swap(force)
+}
+
+// BackendInfo describes the selected vector backend, for surfacing in
+// health endpoints and benchmark artifacts so performance numbers are
+// attributable to real or emulated lanes.
+type BackendInfo struct {
+	// Backend is "avx2" or "portable".
+	Backend string `json:"backend"`
+	// AVX2 reports host capability (true even when the portable override
+	// masks it).
+	AVX2 bool `json:"avx2"`
+	// Forced reports an active portable override (env var or
+	// ForcePortable).
+	Forced bool `json:"forced"`
+	// Lanes16 and Lanes8 are the native register lane counts the selected
+	// backend executes per instruction: 16/32 under AVX2, 0 for the
+	// portable loops (which have no fixed hardware width).
+	Lanes16 int `json:"lanes16"`
+	Lanes8  int `json:"lanes8"`
+}
+
+// Info snapshots the backend selection.
+func Info() BackendInfo {
+	info := BackendInfo{
+		Backend: Backend(),
+		AVX2:    hasAVX2,
+		Forced:  forcedPortable.Load(),
+	}
+	if enabled() {
+		info.Lanes16, info.Lanes8 = 16, 32
+	}
+	return info
+}
+
+// String renders the selection as a one-line summary for startup logs.
+func (b BackendInfo) String() string {
+	switch {
+	case b.Backend == "avx2":
+		return "avx2 (16x int16 / 32x uint8 lanes per register)"
+	case b.Forced && b.AVX2:
+		return "portable (pure Go; avx2 available but overridden)"
+	case b.AVX2:
+		return "portable (pure Go)"
+	default:
+		return "portable (pure Go; host lacks AVX2 or binary built without it)"
+	}
+}

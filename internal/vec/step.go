@@ -1,0 +1,349 @@
+package vec
+
+// Fused column kernels. The per-op primitives in vec.go are the reference
+// granularity — one emulated vector instruction per call — but at 16–64
+// lanes the call and bounds-check overhead of that granularity dwarfs the
+// arithmetic, so the inter-task kernels in internal/core advance the DP
+// through these fused entry points instead: one call processes one
+// database column across every row of the current query tile, keeping F,
+// the diagonal vector and the running-maximum tracker register-resident
+// for the whole column. The portable generics below are the semantic
+// definition (they reproduce, lane for lane, the sequence of vec.go
+// primitives a per-op kernel would issue); vec_amd64.s implements the same
+// loops over real 256-bit registers.
+//
+// Layout contract shared by all four column steps:
+//
+//   - h and e hold the tile's H and E state for rows query rows, row ri at
+//     h[ri*lanes : (ri+1)*lanes]. On entry h carries the previous column's
+//     values (the "up" cells); on return, this column's. Callers whose
+//     slabs include a boundary row 0 pass h[lanes:].
+//   - f, diag and maxv are lanes-wide vectors carried across columns: the
+//     vertical-gap state entering each row, the diagonal H value entering
+//     row 0, and the running score maximum.
+//   - qr is the gap-open+extend penalty and r the extend penalty, both
+//     non-negative; the 16-bit forms rely on qr <= 16384 (enforced by
+//     core.Params.Validate) so gap arithmetic cannot wrap below MinI16.
+//
+// The SP forms read the column's score profile (row stride = lanes) with
+// the row selected by the query residue seq[ri]; the QP forms read the
+// query profile (row stride = stride, row ri at qp[ri*stride:]) indexed by
+// the column residues col[l]. The native QP and BuildRows paths use true
+// vector gathers / in-register shuffles that read a few bytes past the
+// last table row; they dispatch only when the table's backing array has
+// the spare capacity (internal/profile over-allocates its tables for
+// exactly this), and fall back to the portable loops otherwise.
+
+// StepCol16SP advances one database column of the 16-bit score-profile
+// kernel. score is the column's score-row table (stride lanes) and seq the
+// tile's query residues, so row ri scores with
+// score[seq[ri]*lanes : ...].
+func StepCol16SP(h, e, f, diag, maxv I16, score []int16, seq []uint8, rows, lanes int, qr, r int16) {
+	if rows <= 0 {
+		return
+	}
+	if native16(lanes) {
+		stepCol16SP(&h[0], &e[0], &f[0], &diag[0], &maxv[0], &score[0], &seq[0], rows, lanes, int(qr), int(r))
+		return
+	}
+	stepCol16SPGeneric(h, e, f, diag, maxv, score, seq, rows, lanes, qr, r)
+}
+
+func stepCol16SPGeneric(h, e, f, diag, maxv I16, score []int16, seq []uint8, rows, lanes int, qr, r int16) {
+	for ri := 0; ri < rows; ri++ {
+		hrow := h[ri*lanes : (ri+1)*lanes]
+		erow := e[ri*lanes : (ri+1)*lanes]
+		sv := score[int(seq[ri])*lanes:]
+		for l := 0; l < lanes; l++ {
+			up := hrow[l]
+			hv := int32(diag[l]) + int32(sv[l])
+			if hv > MaxI16 {
+				hv = MaxI16
+			}
+			// The low rail is unreachable: diag >= 0 and scores are
+			// bounded by the matrix range (>= profile.PadScore).
+			ev, fv := erow[l], f[l]
+			if int32(ev) > hv {
+				hv = int32(ev)
+			}
+			if int32(fv) > hv {
+				hv = int32(fv)
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			h16 := int16(hv)
+			if h16 > maxv[l] {
+				maxv[l] = h16
+			}
+			uv := hv - int32(qr) // no saturation: 0 <= hv <= MaxI16, qr <= 16384
+			e2 := int32(ev) - int32(r)
+			if e2 < MinI16 {
+				e2 = MinI16
+			}
+			if uv > e2 {
+				e2 = uv
+			}
+			erow[l] = int16(e2)
+			f2 := int32(fv) - int32(r)
+			if f2 < MinI16 {
+				f2 = MinI16
+			}
+			if uv > f2 {
+				f2 = uv
+			}
+			f[l] = int16(f2)
+			diag[l] = up
+			hrow[l] = h16
+		}
+	}
+}
+
+// StepCol16QP advances one database column of the 16-bit query-profile
+// kernel. qp is the query profile positioned at the tile's first row (row
+// ri at qp[ri*stride:]); col holds the column's lane residues, each <
+// stride. The native path gathers profile entries with vpgatherdd, which
+// loads a dword per lane and so reads one element past qp[rows*stride-1];
+// it requires cap(qp) >= rows*stride+1 and falls back to the portable
+// loop otherwise.
+func StepCol16QP(h, e, f, diag, maxv I16, qp []int16, stride int, col []uint8, rows, lanes int, qr, r int16) {
+	if rows <= 0 {
+		return
+	}
+	if native16(lanes) && cap(qp) >= rows*stride+1 {
+		stepCol16QP(&h[0], &e[0], &f[0], &diag[0], &maxv[0], &qp[0], stride, &col[0], rows, lanes, int(qr), int(r))
+		return
+	}
+	stepCol16QPGeneric(h, e, f, diag, maxv, qp, stride, col, rows, lanes, qr, r)
+}
+
+func stepCol16QPGeneric(h, e, f, diag, maxv I16, qp []int16, stride int, col []uint8, rows, lanes int, qr, r int16) {
+	for ri := 0; ri < rows; ri++ {
+		hrow := h[ri*lanes : (ri+1)*lanes]
+		erow := e[ri*lanes : (ri+1)*lanes]
+		row := qp[ri*stride : ri*stride+stride]
+		for l := 0; l < lanes; l++ {
+			up := hrow[l]
+			hv := int32(diag[l]) + int32(row[col[l]])
+			if hv > MaxI16 {
+				hv = MaxI16
+			}
+			ev, fv := erow[l], f[l]
+			if int32(ev) > hv {
+				hv = int32(ev)
+			}
+			if int32(fv) > hv {
+				hv = int32(fv)
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			h16 := int16(hv)
+			if h16 > maxv[l] {
+				maxv[l] = h16
+			}
+			uv := hv - int32(qr)
+			e2 := int32(ev) - int32(r)
+			if e2 < MinI16 {
+				e2 = MinI16
+			}
+			if uv > e2 {
+				e2 = uv
+			}
+			erow[l] = int16(e2)
+			f2 := int32(fv) - int32(r)
+			if f2 < MinI16 {
+				f2 = MinI16
+			}
+			if uv > f2 {
+				f2 = uv
+			}
+			f[l] = int16(f2)
+			diag[l] = up
+			hrow[l] = h16
+		}
+	}
+}
+
+// StepCol8SP advances one database column of the 8-bit biased
+// score-profile kernel: H/E/F are true non-negative cell values clamped at
+// zero, scores are stored biased (score+bias), and every subtraction
+// saturates at the unsigned floor. bias, qr and r are pre-clamped to the
+// byte range by the caller (a penalty >= 255 zeroes any byte lane, so
+// clamping is exact).
+func StepCol8SP(h, e, f, diag, maxv U8, score []uint8, seq []uint8, rows, lanes int, bias, qr, r uint8) {
+	if rows <= 0 {
+		return
+	}
+	if native8(lanes) {
+		stepCol8SP(&h[0], &e[0], &f[0], &diag[0], &maxv[0], &score[0], &seq[0], rows, lanes, int(bias), int(qr), int(r))
+		return
+	}
+	stepCol8SPGeneric(h, e, f, diag, maxv, score, seq, rows, lanes, bias, qr, r)
+}
+
+func stepCol8SPGeneric(h, e, f, diag, maxv U8, score []uint8, seq []uint8, rows, lanes int, bias, qr, r uint8) {
+	for ri := 0; ri < rows; ri++ {
+		hrow := h[ri*lanes : (ri+1)*lanes]
+		erow := e[ri*lanes : (ri+1)*lanes]
+		sv := score[int(seq[ri])*lanes:]
+		for l := 0; l < lanes; l++ {
+			up := hrow[l]
+			hv := int32(diag[l]) + int32(sv[l])
+			if hv > MaxU8 {
+				hv = MaxU8 // vpaddusb clip: the lane will escalate
+			}
+			hv -= int32(bias)
+			if hv < 0 {
+				hv = 0
+			}
+			ev, fv := erow[l], f[l]
+			if int32(ev) > hv {
+				hv = int32(ev)
+			}
+			if int32(fv) > hv {
+				hv = int32(fv)
+			}
+			h8 := uint8(hv)
+			if h8 > maxv[l] {
+				maxv[l] = h8
+			}
+			uv := hv - int32(qr)
+			if uv < 0 {
+				uv = 0
+			}
+			e2 := int32(ev) - int32(r)
+			if e2 < 0 {
+				e2 = 0
+			}
+			if uv > e2 {
+				e2 = uv
+			}
+			erow[l] = uint8(e2)
+			f2 := int32(fv) - int32(r)
+			if f2 < 0 {
+				f2 = 0
+			}
+			if uv > f2 {
+				f2 = uv
+			}
+			f[l] = uint8(f2)
+			diag[l] = up
+			hrow[l] = h8
+		}
+	}
+}
+
+// StepCol8QP advances one database column of the 8-bit biased
+// query-profile kernel. The native path replaces the per-lane gather with
+// two in-register vpshufb table lookups (profile rows fit two 16-byte
+// halves when stride <= 32), loading each row with a pair of 16-byte
+// broadcasts that read up to 32 bytes from the row start; it requires
+// stride <= 32, every col[l] < stride, and cap(qp) >= (rows-1)*stride+32,
+// falling back to the portable loop otherwise.
+func StepCol8QP(h, e, f, diag, maxv U8, qp []uint8, stride int, col []uint8, rows, lanes int, bias, qr, r uint8) {
+	if rows <= 0 {
+		return
+	}
+	if native8(lanes) && stride <= 32 && cap(qp) >= (rows-1)*stride+32 {
+		stepCol8QP(&h[0], &e[0], &f[0], &diag[0], &maxv[0], &qp[0], stride, &col[0], rows, lanes, int(bias), int(qr), int(r))
+		return
+	}
+	stepCol8QPGeneric(h, e, f, diag, maxv, qp, stride, col, rows, lanes, bias, qr, r)
+}
+
+func stepCol8QPGeneric(h, e, f, diag, maxv U8, qp []uint8, stride int, col []uint8, rows, lanes int, bias, qr, r uint8) {
+	for ri := 0; ri < rows; ri++ {
+		hrow := h[ri*lanes : (ri+1)*lanes]
+		erow := e[ri*lanes : (ri+1)*lanes]
+		row := qp[ri*stride : ri*stride+stride]
+		for l := 0; l < lanes; l++ {
+			up := hrow[l]
+			hv := int32(diag[l]) + int32(row[col[l]])
+			if hv > MaxU8 {
+				hv = MaxU8
+			}
+			hv -= int32(bias)
+			if hv < 0 {
+				hv = 0
+			}
+			ev, fv := erow[l], f[l]
+			if int32(ev) > hv {
+				hv = int32(ev)
+			}
+			if int32(fv) > hv {
+				hv = int32(fv)
+			}
+			h8 := uint8(hv)
+			if h8 > maxv[l] {
+				maxv[l] = h8
+			}
+			uv := hv - int32(qr)
+			if uv < 0 {
+				uv = 0
+			}
+			e2 := int32(ev) - int32(r)
+			if e2 < 0 {
+				e2 = 0
+			}
+			if uv > e2 {
+				e2 = uv
+			}
+			erow[l] = uint8(e2)
+			f2 := int32(fv) - int32(r)
+			if f2 < 0 {
+				f2 = 0
+			}
+			if uv > f2 {
+				f2 = uv
+			}
+			f[l] = uint8(f2)
+			diag[l] = up
+			hrow[l] = h8
+		}
+	}
+}
+
+// BuildRows16 fills a score-profile row table from a pad-extended
+// substitution table: dst[e*lanes+l] = table[e*stride+idx[l]] for every
+// residue row e in [0, nrows). The native path gathers with vpgatherdd
+// (dword loads, one element of over-read) and requires
+// cap(table) >= nrows*stride+1.
+func BuildRows16(dst, table []int16, idx []uint8, nrows, lanes, stride int) {
+	if native16(lanes) && cap(table) >= nrows*stride+1 {
+		buildRows16(&dst[0], &table[0], &idx[0], nrows, lanes, stride)
+		return
+	}
+	buildRows16Generic(dst, table, idx, nrows, lanes, stride)
+}
+
+func buildRows16Generic(dst, table []int16, idx []uint8, nrows, lanes, stride int) {
+	// Walk lane-major: each lane copies one strided column of the table,
+	// the transposition the real SP code performs with vector inserts.
+	for l, d := range idx[:lanes] {
+		src := table[int(d):]
+		for e := 0; e < nrows; e++ {
+			dst[e*lanes+l] = src[e*stride]
+		}
+	}
+}
+
+// BuildRows8 is BuildRows16 over biased uint8 tables, using the vpshufb
+// two-half lookup; the native path requires stride <= 32, idx values <
+// stride, and cap(table) >= (nrows-1)*stride+32.
+func BuildRows8(dst, table, idx []uint8, nrows, lanes, stride int) {
+	if native8(lanes) && stride <= 32 && cap(table) >= (nrows-1)*stride+32 {
+		buildRows8(&dst[0], &table[0], &idx[0], nrows, lanes, stride)
+		return
+	}
+	buildRows8Generic(dst, table, idx, nrows, lanes, stride)
+}
+
+func buildRows8Generic(dst, table, idx []uint8, nrows, lanes, stride int) {
+	for l, d := range idx[:lanes] {
+		src := table[int(d):]
+		for e := 0; e < nrows; e++ {
+			dst[e*lanes+l] = src[e*stride]
+		}
+	}
+}

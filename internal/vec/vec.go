@@ -1,15 +1,23 @@
-// Package vec emulates the fixed-width integer SIMD units of the two
-// devices modelled by this library: the 256-bit vectors of the Intel Xeon
-// (16 lanes of int16) and the 512-bit vectors of the Xeon Phi (32 lanes of
-// int16). The "intrinsic" alignment kernels in internal/core are written
-// against this package exactly as hand-vectorised C would be written
-// against immintrin.h: saturating 16-bit adds and subtractions, lane-wise
-// maxima, broadcasts, and the gather operation whose presence (Phi) or
-// absence (Xeon) drives the query-profile results in the paper.
+// Package vec implements the fixed-width integer SIMD primitive set the
+// alignment kernels in internal/core are written against, exactly as
+// hand-vectorised C would be written against immintrin.h: saturating
+// 16-bit and unsigned 8-bit adds and subtractions, lane-wise maxima,
+// broadcasts, and the gather operation whose presence (Phi) or absence
+// (Xeon) drives the query-profile results in the paper.
 //
-// The emulation is semantic, not temporal: operations compute exact lane
-// results; the cycle cost of each operation class is attributed by
-// internal/device from the structural counts reported by the kernels.
+// Two backends implement the set (see dispatch.go): portable pure-Go
+// loops — the verified reference, and the emulation used to model the
+// paper's devices at widths the host does not have — and native AVX2
+// assembly selected at runtime on capable amd64 hosts, which turns the
+// emulated registers into real 256-bit ones. Both produce bit-identical
+// lane results. Beyond the per-op primitives, the package exports fused
+// column kernels (step.go) that advance an entire database column per
+// call, the granularity at which the native backend pays off.
+//
+// The lane-count emulation remains semantic, not temporal: the cycle cost
+// of each operation class is attributed by internal/device from the
+// structural counts reported by the kernels, independent of which backend
+// executed the lanes.
 package vec
 
 import "math"
@@ -50,6 +58,14 @@ func sat(v int32) int16 {
 
 // AddSat sets dst = a + b with signed 16-bit saturation (vpaddsw).
 func AddSat(dst, a, b I16) {
+	if native16(len(dst)) {
+		addSat16(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	addSatGeneric(dst, a, b)
+}
+
+func addSatGeneric(dst, a, b I16) {
 	for l := range dst {
 		dst[l] = sat(int32(a[l]) + int32(b[l]))
 	}
@@ -58,6 +74,14 @@ func AddSat(dst, a, b I16) {
 // SubSatConst sets dst = a - c with signed 16-bit saturation (vpsubsw with
 // a broadcast operand).
 func SubSatConst(dst, a I16, c int16) {
+	if native16(len(dst)) {
+		subSatConst16(&dst[0], &a[0], len(dst), int(c))
+		return
+	}
+	subSatConstGeneric(dst, a, c)
+}
+
+func subSatConstGeneric(dst, a I16, c int16) {
 	for l := range dst {
 		dst[l] = sat(int32(a[l]) - int32(c))
 	}
@@ -65,6 +89,14 @@ func SubSatConst(dst, a I16, c int16) {
 
 // Max sets dst = max(a, b) lane-wise (vpmaxsw).
 func Max(dst, a, b I16) {
+	if native16(len(dst)) {
+		max16(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	maxGeneric(dst, a, b)
+}
+
+func maxGeneric(dst, a, b I16) {
 	for l := range dst {
 		if a[l] > b[l] {
 			dst[l] = a[l]
@@ -76,6 +108,14 @@ func Max(dst, a, b I16) {
 
 // MaxConst sets dst = max(a, c) lane-wise against a broadcast constant.
 func MaxConst(dst, a I16, c int16) {
+	if native16(len(dst)) {
+		maxConst16(&dst[0], &a[0], len(dst), int(c))
+		return
+	}
+	maxConstGeneric(dst, a, c)
+}
+
+func maxConstGeneric(dst, a I16, c int16) {
 	for l := range dst {
 		if a[l] > c {
 			dst[l] = a[l]
@@ -88,6 +128,14 @@ func MaxConst(dst, a I16, c int16) {
 // MaxInto sets dst = max(dst, a) lane-wise; the running-maximum update of
 // the score tracker.
 func MaxInto(dst, a I16) {
+	if native16(len(dst)) {
+		maxInto16(&dst[0], &a[0], len(dst))
+		return
+	}
+	maxIntoGeneric(dst, a)
+}
+
+func maxIntoGeneric(dst, a I16) {
 	for l := range dst {
 		if a[l] > dst[l] {
 			dst[l] = a[l]
@@ -97,6 +145,14 @@ func MaxInto(dst, a I16) {
 
 // Set1 broadcasts c into every lane (vpbroadcastw).
 func Set1(dst I16, c int16) {
+	if native16(len(dst)) {
+		set1x16(&dst[0], len(dst), int(c))
+		return
+	}
+	set1Generic(dst, c)
+}
+
+func set1Generic(dst I16, c int16) {
 	for l := range dst {
 		dst[l] = c
 	}
@@ -105,8 +161,20 @@ func Set1(dst I16, c int16) {
 // Gather sets dst[l] = table[idx[l]] (vpgatherdd-style indexed load). On
 // the Xeon model this operation has no hardware equivalent and is costed by
 // the device model as a shuffle/insert sequence; on the Phi it maps to the
-// native gather. idx values must be valid table offsets.
+// native gather. idx values must be valid table offsets. (The native
+// backend performs the loads scalar too — the insert sequence — because an
+// arbitrary caller table carries no over-read padding guarantee; the fused
+// column kernels in step.go use true vpgatherdd against the padded profile
+// tables.)
 func Gather(dst I16, table []int16, idx []uint8) {
+	if native16(len(dst)) {
+		gather16(&dst[0], &table[0], &idx[0], len(dst))
+		return
+	}
+	gatherGeneric(dst, table, idx)
+}
+
+func gatherGeneric(dst I16, table []int16, idx []uint8) {
 	for l := range dst {
 		dst[l] = table[idx[l]]
 	}
@@ -115,6 +183,13 @@ func Gather(dst I16, table []int16, idx []uint8) {
 // HorizontalMax returns the maximum lane value (vphmaxsw-style reduction
 // tree).
 func HorizontalMax(a I16) int16 {
+	if native16(len(a)) {
+		return hmax16(&a[0], len(a))
+	}
+	return horizontalMaxGeneric(a)
+}
+
+func horizontalMaxGeneric(a I16) int16 {
 	m := a[0]
 	for _, v := range a[1:] {
 		if v > m {
@@ -127,6 +202,13 @@ func HorizontalMax(a I16) int16 {
 // AnyGE reports whether any lane is >= threshold; kernels use it to detect
 // potential 16-bit saturation and trigger 32-bit recomputation.
 func AnyGE(a I16, threshold int16) bool {
+	if native16(len(a)) {
+		return anyGE16(&a[0], len(a), int(threshold))
+	}
+	return anyGEGeneric(a, threshold)
+}
+
+func anyGEGeneric(a I16, threshold int16) bool {
 	for _, v := range a {
 		if v >= threshold {
 			return true
@@ -138,6 +220,13 @@ func AnyGE(a I16, threshold int16) bool {
 // AnyGT reports whether any lane of a exceeds the corresponding lane of b
 // (vpcmpgtw + movemask); the lazy-F termination test of striped kernels.
 func AnyGT(a, b I16) bool {
+	if native16(len(a)) {
+		return anyGT16(&a[0], &b[0], len(a))
+	}
+	return anyGTGeneric(a, b)
+}
+
+func anyGTGeneric(a, b I16) bool {
 	for l := range a {
 		if a[l] > b[l] {
 			return true
@@ -167,6 +256,14 @@ type U8 []uint8
 
 // AddSatU8 sets dst = a + b with unsigned 8-bit saturation (vpaddusb).
 func AddSatU8(dst, a, b U8) {
+	if native8(len(dst)) {
+		addSatU8x(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	addSatU8Generic(dst, a, b)
+}
+
+func addSatU8Generic(dst, a, b U8) {
 	for l := range dst {
 		v := uint16(a[l]) + uint16(b[l])
 		if v > MaxU8 {
@@ -179,6 +276,14 @@ func AddSatU8(dst, a, b U8) {
 // SubSatU8Const sets dst = a - c with unsigned 8-bit saturation at zero
 // (vpsubusb with a broadcast operand).
 func SubSatU8Const(dst, a U8, c uint8) {
+	if native8(len(dst)) {
+		subSatConstU8(&dst[0], &a[0], len(dst), int(c))
+		return
+	}
+	subSatU8ConstGeneric(dst, a, c)
+}
+
+func subSatU8ConstGeneric(dst, a U8, c uint8) {
 	for l := range dst {
 		if a[l] > c {
 			dst[l] = a[l] - c
@@ -190,6 +295,14 @@ func SubSatU8Const(dst, a U8, c uint8) {
 
 // MaxU8s sets dst = max(a, b) lane-wise (vpmaxub).
 func MaxU8s(dst, a, b U8) {
+	if native8(len(dst)) {
+		maxU8x(&dst[0], &a[0], &b[0], len(dst))
+		return
+	}
+	maxU8sGeneric(dst, a, b)
+}
+
+func maxU8sGeneric(dst, a, b U8) {
 	for l := range dst {
 		if a[l] > b[l] {
 			dst[l] = a[l]
@@ -201,6 +314,14 @@ func MaxU8s(dst, a, b U8) {
 
 // MaxIntoU8 sets dst = max(dst, a) lane-wise; the running-maximum update.
 func MaxIntoU8(dst, a U8) {
+	if native8(len(dst)) {
+		maxIntoU8x(&dst[0], &a[0], len(dst))
+		return
+	}
+	maxIntoU8Generic(dst, a)
+}
+
+func maxIntoU8Generic(dst, a U8) {
 	for l := range dst {
 		if a[l] > dst[l] {
 			dst[l] = a[l]
@@ -210,14 +331,32 @@ func MaxIntoU8(dst, a U8) {
 
 // Set1U8 broadcasts c into every lane (vpbroadcastb).
 func Set1U8(dst U8, c uint8) {
+	if native8(len(dst)) {
+		set1U8x(&dst[0], len(dst), int(c))
+		return
+	}
+	set1U8Generic(dst, c)
+}
+
+func set1U8Generic(dst U8, c uint8) {
 	for l := range dst {
 		dst[l] = c
 	}
 }
 
 // GatherU8 sets dst[l] = table[idx[l]]; the byte-granularity indexed load
-// of the 8-bit query-profile kernels.
+// of the 8-bit query-profile kernels. As with Gather, the native backend
+// issues the loads scalar for arbitrary tables; the fused 8-bit column
+// kernels use the in-register vpshufb table permute instead.
 func GatherU8(dst U8, table []uint8, idx []uint8) {
+	if native8(len(dst)) {
+		gatherU8x(&dst[0], &table[0], &idx[0], len(dst))
+		return
+	}
+	gatherU8Generic(dst, table, idx)
+}
+
+func gatherU8Generic(dst U8, table []uint8, idx []uint8) {
 	for l := range dst {
 		dst[l] = table[idx[l]]
 	}
@@ -225,6 +364,13 @@ func GatherU8(dst U8, table []uint8, idx []uint8) {
 
 // HorizontalMaxU8 returns the maximum lane value.
 func HorizontalMaxU8(a U8) uint8 {
+	if native8(len(a)) {
+		return hmaxU8(&a[0], len(a))
+	}
+	return horizontalMaxU8Generic(a)
+}
+
+func horizontalMaxU8Generic(a U8) uint8 {
 	m := a[0]
 	for _, v := range a[1:] {
 		if v > m {
@@ -237,6 +383,13 @@ func HorizontalMaxU8(a U8) uint8 {
 // AnyGEU8 reports whether any lane is >= threshold; the ladder's 8-bit
 // saturation test.
 func AnyGEU8(a U8, threshold uint8) bool {
+	if native8(len(a)) {
+		return anyGEU8x(&a[0], len(a), int(threshold))
+	}
+	return anyGEU8Generic(a, threshold)
+}
+
+func anyGEU8Generic(a U8, threshold uint8) bool {
 	for _, v := range a {
 		if v >= threshold {
 			return true
@@ -248,6 +401,13 @@ func AnyGEU8(a U8, threshold uint8) bool {
 // AnyGTU8 reports whether any lane of a exceeds the corresponding lane of
 // b; the lazy-F termination test of the 8-bit striped pass.
 func AnyGTU8(a, b U8) bool {
+	if native8(len(a)) {
+		return anyGTU8x(&a[0], &b[0], len(a))
+	}
+	return anyGTU8Generic(a, b)
+}
+
+func anyGTU8Generic(a, b U8) bool {
 	for l := range a {
 		if a[l] > b[l] {
 			return true

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"time"
 
+	"heterosw/internal/device"
 	"heterosw/internal/qsched"
+	"heterosw/internal/vec"
 )
 
 // The HTTP front end exposes a Cluster as a JSON search service — the
@@ -124,12 +126,13 @@ type BackendJSON struct {
 
 // HealthJSON is the /healthz response.
 type HealthJSON struct {
-	Status        string        `json:"status"`
-	Sequences     int           `json:"sequences"`
-	Residues      int64         `json:"residues"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Queries       int64         `json:"queries"`
-	Backends      []BackendJSON `json:"backends"`
+	Status        string          `json:"status"`
+	Sequences     int             `json:"sequences"`
+	Residues      int64           `json:"residues"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Queries       int64           `json:"queries"`
+	VecBackend    vec.BackendInfo `json:"vec_backend"`
+	Backends      []BackendJSON   `json:"backends"`
 	Scheduler     struct {
 		Submitted      int64 `json:"submitted"`
 		Batches        int64 `json:"batches"`
@@ -430,6 +433,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h.Sequences = s.c.db.Len()
 	h.Residues = s.c.db.Residues()
 	h.UptimeSeconds = time.Since(s.start).Seconds()
+	h.VecBackend = device.HostSIMD()
 	queries, per := s.c.Totals()
 	h.Queries = queries
 	h.Backends = make([]BackendJSON, len(per))
