@@ -3,15 +3,17 @@ package heterosw
 import (
 	"fmt"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/submat"
 	"heterosw/internal/swalign"
 )
 
-// AlignOptions configures pairwise alignment. The zero value uses BLOSUM62
-// with gap open 10 and extend 2, the paper's parameters.
+// AlignOptions configures pairwise alignment. The zero value uses the
+// alphabet's conventional matrix (BLOSUM62 for protein, NUC for DNA) with
+// gap open 10 and extend 2, the paper's parameters.
 type AlignOptions struct {
-	// Matrix is a built-in substitution matrix name (BLOSUM62 when
-	// empty).
+	// Matrix is a built-in substitution matrix name (the first sequence's
+	// alphabet default when empty).
 	Matrix string
 	// GapOpen and GapExtend are the affine penalties (10/2 when zero;
 	// set NoGapDefaults for literal zeros).
@@ -19,10 +21,14 @@ type AlignOptions struct {
 	NoGapDefaults      bool
 }
 
-func (o AlignOptions) scoring() (swalign.Scoring, error) {
+func (o AlignOptions) scoringFor(alpha *alphabet.Alphabet) (swalign.Scoring, error) {
 	name := o.Matrix
 	if name == "" {
-		name = "BLOSUM62"
+		if alpha == alphabet.DNA {
+			name = "NUC"
+		} else {
+			name = "BLOSUM62"
+		}
 	}
 	m, err := submat.ByName(name)
 	if err != nil {
@@ -72,7 +78,7 @@ func Align(a, b Sequence, opt AlignOptions) (*Alignment, error) {
 	if a.impl == nil || b.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value sequence")
 	}
-	sc, err := opt.scoring()
+	sc, err := opt.scoringFor(a.impl.Alphabet())
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +90,7 @@ func Score(a, b Sequence, opt AlignOptions) (int, error) {
 	if a.impl == nil || b.impl == nil {
 		return 0, fmt.Errorf("heterosw: zero-value sequence")
 	}
-	sc, err := opt.scoring()
+	sc, err := opt.scoringFor(a.impl.Alphabet())
 	if err != nil {
 		return 0, err
 	}
@@ -99,7 +105,7 @@ func ScoreBanded(a, b Sequence, diag, band int, opt AlignOptions) (int, error) {
 	if a.impl == nil || b.impl == nil {
 		return 0, fmt.Errorf("heterosw: zero-value sequence")
 	}
-	sc, err := opt.scoring()
+	sc, err := opt.scoringFor(a.impl.Alphabet())
 	if err != nil {
 		return 0, err
 	}

@@ -11,8 +11,11 @@ package heterosw
 // figures at full scale and prints the complete series.
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/core"
 	"heterosw/internal/datagen"
 	"heterosw/internal/device"
@@ -260,6 +263,52 @@ func benchLadder(b *testing.B, prec core.Precision) {
 
 func BenchmarkKernelLadderShort8(b *testing.B)  { benchLadder(b, core.Prec8) }
 func BenchmarkKernelLadderShort16(b *testing.B) { benchLadder(b, core.Prec16) }
+
+// BenchmarkKernelDNANuc is the nucleotide twin of the kernel
+// microbenchmarks: intrinsic-SP over a seeded random DNA database under
+// the NUC +2/-3 match/mismatch matrix. The 15-letter alphabet shrinks the
+// query profile but the inner loops are identical, so nucleotide Mcells/s
+// should track the protein number; sim-GCUPS is the deterministic
+// device-model figure the regression gate compares.
+func BenchmarkKernelDNANuc(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	const bases = "ACGT"
+	randDNA := func(n int) []byte {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = bases[rng.Intn(4)]
+		}
+		return s
+	}
+	seqs := make([]*sequence.Sequence, 256)
+	for i := range seqs {
+		seqs[i] = sequence.NewAlpha(fmt.Sprintf("d%03d", i), randDNA(100+rng.Intn(600)), alphabet.DNA)
+	}
+	db := seqdb.New(seqs, true)
+	dev := device.Xeon()
+	lanes := dev.Lanes
+	groups, _ := db.Partition(lanes, 0)
+	q := profile.NewQuery(sequence.NewAlpha("q", randDNA(400), alphabet.DNA).Residues, submat.NUC)
+	params := core.Params{Variant: core.IntrinsicSP, GapOpen: 10, GapExtend: 2, Blocked: true}
+	bufs := core.NewBuffers(lanes)
+	cells := int64(q.Len()) * db.Residues()
+	threads := dev.MaxThreads()
+	class := params.KernelClass()
+	var cycles float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles = 0
+		for _, g := range groups {
+			_, st := core.AlignGroup(q, g, params, bufs)
+			shape := device.Shape{Width: g.Width, Lanes: g.Lanes, Residues: g.Residues}
+			cycles += dev.GroupCost(class, q.Len(), shape, threads, st.OverflowCells)
+		}
+	}
+	b.StopTimer()
+	simSeconds := cycles / (float64(threads) * dev.ThreadRate(threads))
+	b.ReportMetric(float64(cells)/simSeconds/1e9, "sim-GCUPS")
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
 
 // Intra-task kernel microbenchmarks: Farrar's striped layout vs the
 // anti-diagonal wavefront on one long pair (the two long-sequence engines).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"heterosw/internal/qsched"
 	"heterosw/internal/sequence"
 	"heterosw/internal/stats"
+	"heterosw/internal/submat"
 )
 
 // ErrClusterClosed is returned by the scheduled entry points
@@ -340,7 +342,7 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 	if opt.Shares != nil && len(opt.Shares) != len(kinds) {
 		return nil, fmt.Errorf("heterosw: %d shares for %d devices", len(opt.Shares), len(kinds))
 	}
-	search, err := opt.Options.toCore()
+	search, err := opt.Options.toCore(db.db.Alphabet())
 	if err != nil {
 		return nil, err
 	}
@@ -418,10 +420,58 @@ func (c *Cluster) Search(query Sequence, report ...ReportOptions) (*ClusterResul
 		return nil, err
 	}
 	out := c.wrap(res)
-	if err := c.decorate(context.Background(), query, out, rep); err != nil {
+	if err := c.decorate(context.Background(), query, out, rep, c.dopt); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// SearchMatrix is Search with a request-scoped substitution matrix: text
+// in the NCBI format, parsed against the database's alphabet, replacing
+// the cluster-wide matrix for this one query. Parse failures wrap
+// ErrBadMatrix. Like Search it bypasses the scheduler and cache — a
+// per-request matrix changes the scores, so such results must never share
+// cache entries with the cluster-wide configuration.
+func (c *Cluster) SearchMatrix(query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
+	rep, err := oneReport(report)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkReport(rep); err != nil {
+		return nil, err
+	}
+	if query.impl == nil {
+		return nil, fmt.Errorf("heterosw: zero-value query")
+	}
+	dopt, err := c.doptWithMatrix(matrixText)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.disp.Search(query.impl, dopt)
+	if err != nil {
+		return nil, err
+	}
+	out := c.wrap(res)
+	if err := c.decorate(context.Background(), query, out, rep, dopt); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// doptWithMatrix copies the cluster's dispatch options, replacing the
+// substitution matrix with one parsed from user-supplied text against the
+// database's alphabet. Empty text returns the options unchanged.
+func (c *Cluster) doptWithMatrix(matrixText string) (core.DispatchOptions, error) {
+	dopt := c.dopt
+	if matrixText == "" {
+		return dopt, nil
+	}
+	m, err := submat.Parse("custom", strings.NewReader(matrixText), c.db.db.Alphabet())
+	if err != nil {
+		return dopt, err
+	}
+	dopt.Search.Matrix = m
+	return dopt, nil
 }
 
 // SearchBatch runs a batch of queries, amortising the shard split, chunk
@@ -462,7 +512,7 @@ func (c *Cluster) searchBatchCtx(ctx context.Context, rqs []reportQuery) ([]*Clu
 	out := make([]*ClusterResult, len(res))
 	for i, r := range res {
 		out[i] = c.wrap(r)
-		if err := c.decorate(ctx, rqs[i].seq, out[i], rqs[i].rep); err != nil {
+		if err := c.decorate(ctx, rqs[i].seq, out[i], rqs[i].rep, c.dopt); err != nil {
 			return nil, err
 		}
 	}
@@ -473,7 +523,7 @@ func (c *Cluster) searchBatchCtx(ctx context.Context, rqs []reportQuery) ([]*Clu
 // per-call hit truncation, the significance fit and the traceback fan-out.
 // It must only ever see results this call owns — cached results are
 // decorated before they enter the cache, never after.
-func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResult, rep ReportOptions) error {
+func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResult, rep ReportOptions, dopt core.DispatchOptions) error {
 	if rep == (ReportOptions{}) {
 		return nil
 	}
@@ -514,7 +564,7 @@ func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResu
 			h := res.Hits[i]
 			hits[i] = core.Hit{SeqIndex: h.Index, ID: h.ID, Score: int32(h.Score)}
 		}
-		details, err := c.disp.AlignHits(ctx, query.impl, hits, c.dopt)
+		details, err := c.disp.AlignHits(ctx, query.impl, hits, dopt)
 		if err != nil {
 			return err
 		}

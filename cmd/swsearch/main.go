@@ -1,16 +1,22 @@
-// Command swsearch runs a Smith-Waterman protein database search: the
-// paper's Algorithm 1 (single device), Algorithm 2 (heterogeneous
-// CPU+Phi) or its N-device cluster generalisation, printing the top hits
-// with optional alignments.
+// Command swsearch runs a Smith-Waterman database search: the paper's
+// Algorithm 1 (single device), Algorithm 2 (heterogeneous CPU+Phi) or its
+// N-device cluster generalisation, printing the top hits with optional
+// alignments. Protein is the default alphabet; -dna searches nucleotide
+// databases and -translate runs a six-frame translated (blastx-style)
+// search of DNA queries against a protein database.
 //
 // Usage:
 //
 //	swsearch -db db.fasta -query q.fasta [flags]
 //	swsearch -synthetic 0.01 -queryindex 3 [flags]
 //	swsearch -synthetic 0.01 -devices xeon,phi,phi -dist dynamic
+//	swsearch -db genes.fasta -query reads.fasta -dna -outfmt tsv
+//	swsearch -db prot.swdb -query reads.fasta -translate -outfmt sam
+//	swsearch -db prot.swdb -query many.fasta -batch -blast
 //
 // Flags select the kernel variant, device model, thread count, scheduling
-// policy, substitution matrix and gap penalties; see -help.
+// policy, substitution matrix (built-in by name, or a custom file with
+// -matrixfile) and gap penalties; see -help.
 package main
 
 import (
@@ -38,7 +44,8 @@ func main() {
 		shares     = flag.String("shares", "", "comma-separated static residue shares with -devices (model-balanced when empty)")
 		device     = flag.String("device", "xeon", "device model: xeon or phi")
 		variant    = flag.String("variant", "intrinsic-SP", "kernel variant: no-vec-QP, no-vec-SP, simd-QP, simd-SP, intrinsic-QP, intrinsic-SP; append -8bit to an intrinsic variant for the adaptive 8/16/32-bit scoring ladder")
-		matrix     = flag.String("matrix", "BLOSUM62", "substitution matrix: BLOSUM45/50/62/80, PAM250")
+		matrix     = flag.String("matrix", "", "substitution matrix: BLOSUM45/50/62/80, PAM250, NUC (default: BLOSUM62 for protein, NUC for DNA)")
+		matrixFile = flag.String("matrixfile", "", "custom substitution matrix file in the NCBI textual format (overrides -matrix)")
 		gapOpen    = flag.Int("gapopen", 10, "gap open penalty q (gap of length x costs q + r*x)")
 		gapExtend  = flag.Int("gapextend", 2, "gap extension penalty r")
 		threads    = flag.Int("threads", 0, "simulated device threads (0 = device maximum)")
@@ -48,6 +55,10 @@ func main() {
 		showAlign  = flag.Int("align", 0, "print full alignments for the first N hits")
 		blast      = flag.Bool("blast", false, "run the two-phase aligned search (score pass, then tracebacks over the top hits) and print a BLAST-style report")
 		evalue     = flag.Bool("evalue", false, "with -blast: fit a null model over the score distribution and report bit scores and E-values")
+		dna        = flag.Bool("dna", false, "nucleotide mode: parse the FASTA database and queries under the IUPAC DNA alphabet")
+		translated = flag.Bool("translate", false, "six-frame translated search (blastx-style): DNA queries against a protein database; implies the reporting pipeline")
+		outfmt     = flag.String("outfmt", "", "report format: blast, sam, tsv; implies the two-phase aligned search like -blast")
+		batch      = flag.Bool("batch", false, "search every record of the query FASTA as one batch instead of just -queryindex")
 	)
 	flag.Parse()
 
@@ -58,18 +69,35 @@ func main() {
 	)
 	switch {
 	case *synthetic > 0:
+		if *dna {
+			fatal(fmt.Errorf("-dna does not apply to the synthetic protein database"))
+		}
 		db, queries = heterosw.SyntheticSwissProt(*synthetic, true)
+		if *translated {
+			fatal(fmt.Errorf("-translate needs DNA queries from -query"))
+		}
 	case *dbPath != "":
 		// FASTA or a preprocessed .swdb index, sniffed by magic; the index
 		// path restores the sorted database without parsing.
-		db, err = heterosw.LoadDatabaseFile(*dbPath)
+		if *dna {
+			db, err = heterosw.LoadDNADatabaseFile(*dbPath)
+		} else {
+			db, err = heterosw.LoadDatabaseFile(*dbPath)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		if *queryPath == "" {
 			fatal(fmt.Errorf("-query is required with -db"))
 		}
-		queries, err = heterosw.ReadFASTAFile(*queryPath)
+		// Translated search takes nucleotide queries against a protein
+		// database, so -translate reads the query FASTA as DNA even
+		// without -dna.
+		if *dna || *translated {
+			queries, err = heterosw.ReadDNAFASTAFile(*queryPath)
+		} else {
+			queries, err = heterosw.ReadFASTAFile(*queryPath)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -92,12 +120,20 @@ func main() {
 		TopK:      *topK,
 	}
 	opt.NoBlocking = *noBlock
+	if *matrixFile != "" {
+		text, rerr := os.ReadFile(*matrixFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		opt.MatrixText = string(text)
+	}
 
-	if *blast {
+	if *blast || *outfmt != "" || *translated || *batch {
 		// The two-phase reporting pipeline: the vectorised score pass over
 		// the roster selects the top hits, then the traceback phase
 		// re-aligns the query against just those hits. A bare -blast runs
-		// a single-device roster of -device.
+		// a single-device roster of -device; -batch feeds every query
+		// record through the cluster's batch scheduler in one pass.
 		roster := *devices
 		if roster == "" {
 			roster = *device
@@ -106,23 +142,64 @@ func main() {
 		if cerr != nil {
 			fatal(cerr)
 		}
+		rep := heterosw.ReportOptions{Alignments: true, EValues: *evalue, TopK: *topK}
+		sel := []heterosw.Sequence{query}
+		if *batch {
+			sel = queries
+		}
 		start := time.Now()
-		res, rerr := cl.Search(query, heterosw.ReportOptions{
-			Alignments: true, EValues: *evalue, TopK: *topK,
-		})
-		if rerr != nil {
-			fatal(rerr)
+		var results []*heterosw.ClusterResult
+		switch {
+		case *translated:
+			for _, q := range sel {
+				res, rerr := cl.SearchTranslated(q, rep)
+				if rerr != nil {
+					fatal(rerr)
+				}
+				results = append(results, res)
+			}
+		case len(sel) > 1:
+			results, err = cl.SearchBatch(sel, rep)
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			res, rerr := cl.Search(sel[0], rep)
+			if rerr != nil {
+				fatal(rerr)
+			}
+			results = []*heterosw.ClusterResult{res}
 		}
-		if err := heterosw.WriteReport(os.Stdout, query, db, res, 60); err != nil {
-			fatal(err)
+		format := *outfmt
+		if format == "" {
+			format = "blast"
 		}
-		fmt.Printf("\nperformance: %.2f GCUPS simulated (%.4fs on model), %v real\n",
-			res.SimGCUPS, res.SimSeconds, time.Since(start).Round(time.Millisecond))
+		for i, res := range results {
+			if i > 0 && format == "blast" {
+				fmt.Println(strings.Repeat("=", 70))
+			}
+			if err := heterosw.WriteFormat(os.Stdout, format, sel[i], db, res, 60); err != nil {
+				fatal(err)
+			}
+		}
+		if format == "blast" {
+			var gcups, sim float64
+			for _, res := range results {
+				gcups = res.SimGCUPS
+				sim += res.SimSeconds
+			}
+			fmt.Printf("\nperformance: %.2f GCUPS simulated (%.4fs on model), %v real\n",
+				gcups, sim, time.Since(start).Round(time.Millisecond))
+		}
 		return
 	}
 
+	unit := "aa"
+	if query.Alphabet() == "dna" {
+		unit = "nt"
+	}
 	fmt.Printf("database: %s\n", db)
-	fmt.Printf("query:    %s (%d aa)\n", query.ID(), query.Len())
+	fmt.Printf("query:    %s (%d %s)\n", query.ID(), query.Len(), unit)
 	fmt.Printf("vec:      %s\n", hostdev.HostSIMD())
 
 	start := time.Now()

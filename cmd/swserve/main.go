@@ -52,7 +52,8 @@ func main() {
 		dist      = flag.String("dist", "dynamic", "workload distribution: static, dynamic, guided")
 		shares    = flag.String("shares", "", "comma-separated static residue shares (model-balanced when empty)")
 		variant   = flag.String("variant", "intrinsic-SP", "kernel variant")
-		matrix    = flag.String("matrix", "BLOSUM62", "substitution matrix")
+		matrix    = flag.String("matrix", "", "substitution matrix (default: BLOSUM62 for protein, NUC for DNA)")
+		dna       = flag.Bool("dna", false, "nucleotide mode: parse the FASTA database under the IUPAC DNA alphabet")
 		inflight  = flag.Int("inflight", 0, "max micro-batches in flight (0 = default)")
 		window    = flag.Duration("window", 0, "micro-batch coalescing window (0 = default, negative disables)")
 		maxBatch  = flag.Int("maxbatch", 0, "max queries per micro-batch (0 = default)")
@@ -67,12 +68,19 @@ func main() {
 	)
 	switch {
 	case *synthetic > 0:
+		if *dna {
+			fatal(fmt.Errorf("-dna does not apply to the synthetic protein database"))
+		}
 		db, _ = heterosw.SyntheticSwissProt(*synthetic, false)
 	case *dbPath != "":
 		// FASTA or a preprocessed .swdb index, sniffed by magic. Serving
 		// restarts over a prebuilt index skip the parse and sort entirely,
 		// so the server is ready near-instantly at any database scale.
-		db, err = heterosw.LoadDatabaseFile(*dbPath)
+		if *dna {
+			db, err = heterosw.LoadDNADatabaseFile(*dbPath)
+		} else {
+			db, err = heterosw.LoadDatabaseFile(*dbPath)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -293,6 +294,124 @@ func TestConformanceNativeVsPortable(t *testing.T) {
 				if !bytes.Equal(n, p) {
 					t.Errorf("%s: native and portable results diverge\n--- native ---\n%s\n--- portable ---\n%s",
 						entry, truncate(n), truncate(p))
+				}
+			}
+		})
+	}
+}
+
+// confDNASetup mirrors confSetup for the nucleotide alphabet: a seeded
+// synthetic DNA corpus (datagen only emits protein) written as FASTA and
+// as a .swdb index, plus a planted-fragment query and an unrelated one.
+func confDNASetup(t *testing.T) (fastaPath, swdbPath string, queries []Sequence) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7744))
+	const bases = "ACGT"
+	randDNA := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = bases[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	seqs := make([]Sequence, confDBSeqs)
+	for i := range seqs {
+		seqs[i] = NewDNASequence(fmt.Sprintf("cd%02d", i), randDNA(60+rng.Intn(240)))
+	}
+	// A couple of soft-masked and ambiguous subjects keep the encoder's
+	// lowercase and N paths inside the conformance surface.
+	low := []byte(seqs[3].String())
+	for i := 10; i < len(low) && i < 40; i++ {
+		low[i] += 'a' - 'A'
+	}
+	seqs[3] = NewDNASequence(seqs[3].ID(), string(low))
+	amb := []byte(seqs[9].String())
+	amb[5], amb[15], amb[25] = 'N', 'R', 'Y'
+	seqs[9] = NewDNASequence(seqs[9].ID(), string(amb))
+
+	fastaPath = filepath.Join(dir, "conf_dna.fasta")
+	if err := WriteFASTAFile(fastaPath, seqs); err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swdbPath = filepath.Join(dir, "conf_dna.swdb")
+	if err := WriteIndexFile(swdbPath, db); err != nil {
+		t.Fatal(err)
+	}
+	donor := seqs[confDBSeqs/2].String()
+	if len(donor) > 64 {
+		donor = donor[:64]
+	}
+	queries = []Sequence{
+		NewDNASequence("planted", donor),
+		NewDNASequence("random", randDNA(72)),
+	}
+	return fastaPath, swdbPath, queries
+}
+
+// TestConformanceDNAFASTAvsIndex extends the harness to the DNA alphabet:
+// a nucleotide FASTA parsed under IUPAC-DNA and the .swdb built from it
+// (which records the alphabet in its header) must be indistinguishable on
+// every entry point, under the NUC match/mismatch matrix the cluster
+// selects by default for DNA databases.
+func TestConformanceDNAFASTAvsIndex(t *testing.T) {
+	fastaPath, swdbPath, queries := confDNASetup(t)
+
+	cases := []struct {
+		name string
+		opts ClusterOptions
+		rep  ReportOptions
+	}{
+		{"scalar-SP", ClusterOptions{Options: Options{Variant: VariantNoVecSP}}, ReportOptions{TopK: 5}},
+		{"intrinsic-SP", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP}}, ReportOptions{TopK: 5}},
+		{"intrinsic-QP", ClusterOptions{Options: Options{Variant: VariantIntrinsicQP}}, ReportOptions{TopK: 5}},
+		{"ladder-SP-8bit", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP8}}, ReportOptions{TopK: 5}},
+		{"dynamic-aligned-evalue", ClusterOptions{Options: Options{Variant: VariantIntrinsicSP}, Dist: "dynamic"},
+			ReportOptions{TopK: 5, Alignments: true, EValues: true}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			results := make(map[string]map[string][]byte, 2)
+			for _, load := range []struct{ kind, path string }{
+				{"fasta", fastaPath},
+				{"swdb", swdbPath},
+			} {
+				// LoadDNADatabaseFile forces the DNA alphabet for the FASTA
+				// text; the .swdb path must recover it from the header alone.
+				var (
+					db  *Database
+					err error
+				)
+				if load.kind == "fasta" {
+					db, err = LoadDNADatabaseFile(load.path)
+				} else {
+					db, err = LoadDatabaseFile(load.path)
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", load.kind, err)
+				}
+				if db.Alphabet() != "dna" {
+					t.Fatalf("%s: alphabet %q, want dna", load.kind, db.Alphabet())
+				}
+				cl, err := NewCluster(db, tc.opts)
+				if err != nil {
+					t.Fatalf("%s: %v", load.kind, err)
+				}
+				results[load.kind] = confEntryPoints(t, cl, queries, tc.rep)
+			}
+			for _, entry := range []string{"Search", "SearchBatch", "SearchScheduled", "Stream", "HTTP"} {
+				f, s := results["fasta"][entry], results["swdb"][entry]
+				if f == nil || s == nil {
+					t.Fatalf("%s: missing surface output", entry)
+				}
+				if !bytes.Equal(f, s) {
+					t.Errorf("%s: FASTA and swdb results diverge\n--- fasta ---\n%s\n--- swdb ---\n%s",
+						entry, truncate(f), truncate(s))
 				}
 			}
 		})

@@ -3,6 +3,7 @@ package heterosw
 import (
 	"fmt"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/core"
 	"heterosw/internal/seqdb/index"
 )
@@ -46,6 +47,18 @@ func OpenIndexFile(path string) (*Database, error) {
 // flag accepts both through this one entry point.
 func LoadDatabaseFile(path string) (*Database, error) {
 	db, _, err := index.LoadDatabase(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db, engines: make(map[DeviceKind]*core.Engine)}, nil
+}
+
+// LoadDNADatabaseFile is LoadDatabaseFile for nucleotide databases: a
+// FASTA file is parsed under the IUPAC DNA alphabet (see NewDNASequence),
+// while a .swdb index — which records its own alphabet — loads exactly as
+// with LoadDatabaseFile.
+func LoadDNADatabaseFile(path string) (*Database, error) {
+	db, _, err := index.LoadDatabaseAlpha(path, alphabet.DNA)
 	if err != nil {
 		return nil, err
 	}

@@ -52,7 +52,17 @@
 //     checksummed binary image of the fully preprocessed database that
 //     loads by mmap and zero-copy slicing — no parse, no sort, no
 //     per-sequence copies — see WriteIndexFile, OpenIndexFile and
-//     LoadDatabaseFile, and the cmd/swindex CLI.
+//     LoadDatabaseFile, and the cmd/swindex CLI;
+//   - genomics workloads over a generic alphabet layer: nucleotide
+//     database search under the IUPAC DNA alphabet with match/mismatch
+//     scoring (NewDNASequence, ReadDNAFASTAFile, LoadDNADatabaseFile),
+//     blastx-style six-frame translated search of DNA queries against
+//     protein databases with per-hit frames and DNA coordinates
+//     (Cluster.SearchTranslated), user-supplied substitution matrices in
+//     NCBI textual form (Options.MatrixText, Cluster.SearchMatrix, the
+//     ErrBadMatrix error family), and SAM 1.6 / BLAST tabular output of
+//     aligned results (WriteFormat, swsearch -outfmt, the format field
+//     on POST /search).
 //
 // # The persistent database index
 //
@@ -141,8 +151,24 @@
 // database. Report options are part of the scheduler's dedup/cache key,
 // so an aligned result and a score-only result of the same query never
 // alias. WriteReport renders a decorated result as a BLAST-style text
-// report (swsearch -blast); the HTTP front end exposes the same phases as
-// the align and evalue request fields.
+// report (swsearch -blast); WriteFormat adds SAM 1.6 and BLAST tabular
+// TSV renderings (swsearch -outfmt sam|tsv); the HTTP front end exposes
+// the same phases as the align, evalue and format request fields.
+//
+// # Alphabets and translated search
+//
+// Databases and queries carry their alphabet. FASTA parsed through the
+// DNA entry points (ReadDNAFASTAFile, LoadDNADatabaseFile, swsearch
+// -dna) encodes under the 15-letter IUPAC nucleotide alphabet — case
+// insensitive, with unrecognised bytes becoming N — and searches default
+// to the blastn-style NUC +2/-3 matrix; .swdb indexes persist the
+// alphabet and restore it on load. SearchTranslated searches a DNA query
+// against a protein database in all six reading frames and merges the
+// per-frame results, reporting each hit's winning frame and the aligned
+// region's forward-strand DNA coordinates. SearchMatrix (and the
+// MatrixText option, the -matrixfile flag and the HTTP matrix field)
+// scores one request with a user matrix parsed from NCBI textual form;
+// rejected matrix text wraps ErrBadMatrix.
 //
 // # Tools
 //

@@ -32,11 +32,14 @@ type goldenHit struct {
 	Index        int    `json:"index"`
 	ID           string `json:"id"`
 	Score        int    `json:"score"`
+	Frame        int    `json:"frame,omitempty"`
 	CIGAR        string `json:"cigar"`
 	QueryStart   int    `json:"query_start"`
 	QueryEnd     int    `json:"query_end"`
 	SubjectStart int    `json:"subject_start"`
 	SubjectEnd   int    `json:"subject_end"`
+	QueryDNAFrom int    `json:"query_dna_start,omitempty"`
+	QueryDNATo   int    `json:"query_dna_end,omitempty"`
 	Identities   int    `json:"identities"`
 	Columns      int    `json:"columns"`
 	BitScore     string `json:"bit_score"`
@@ -92,10 +95,11 @@ func goldenFromResult(t *testing.T, query Sequence, db *Database, res *ClusterRe
 		}
 		a := h.Alignment
 		out.Hits = append(out.Hits, goldenHit{
-			Index: h.Index, ID: h.ID, Score: h.Score,
+			Index: h.Index, ID: h.ID, Score: h.Score, Frame: h.Frame,
 			CIGAR:      a.CIGAR,
 			QueryStart: a.QueryStart, QueryEnd: a.QueryEnd,
 			SubjectStart: a.SubjectStart, SubjectEnd: a.SubjectEnd,
+			QueryDNAFrom: a.QueryDNAStart, QueryDNATo: a.QueryDNAEnd,
 			Identities: a.Identities, Columns: a.Columns,
 			BitScore: sigDigits(h.Significance.BitScore),
 			EValue:   sigDigits(h.Significance.EValue),
@@ -116,10 +120,11 @@ func goldenFromJSON(t *testing.T, query Sequence, db *Database, sr SearchJSON) g
 		}
 		a := h.Alignment
 		out.Hits = append(out.Hits, goldenHit{
-			Index: h.Index, ID: h.ID, Score: h.Score,
+			Index: h.Index, ID: h.ID, Score: h.Score, Frame: h.Frame,
 			CIGAR:      a.CIGAR,
 			QueryStart: a.QueryStart, QueryEnd: a.QueryEnd,
 			SubjectStart: a.SubjectStart, SubjectEnd: a.SubjectEnd,
+			QueryDNAFrom: a.QueryDNAStart, QueryDNATo: a.QueryDNAEnd,
 			Identities: a.Identities, Columns: a.Columns,
 			BitScore: sigDigits(*h.BitScore),
 			EValue:   sigDigits(*h.EValue),
@@ -130,12 +135,16 @@ func goldenFromJSON(t *testing.T, query Sequence, db *Database, sr SearchJSON) g
 
 func checkGoldenFile(t *testing.T, surface string, got goldenFile) {
 	t.Helper()
+	checkGoldenFileAt(t, surface, got, "testdata/golden.json")
+}
+
+func checkGoldenFileAt(t *testing.T, surface string, got goldenFile, path string) {
+	t.Helper()
 	raw, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	raw = append(raw, '\n')
-	const path = "testdata/golden.json"
 	if *updateGolden {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
@@ -148,6 +157,24 @@ func checkGoldenFile(t *testing.T, surface string, got goldenFile) {
 	}
 	if !bytes.Equal(raw, want) {
 		t.Fatalf("%s diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", surface, path, raw, want)
+	}
+}
+
+// checkGoldenText pins raw text output (reports, SAM, TSV) at path.
+func checkGoldenText(t *testing.T, surface string, got []byte, path string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run: go test -run TestGolden -update .)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", surface, path, got, want)
 	}
 }
 

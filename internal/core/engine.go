@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/device"
 	"heterosw/internal/offload"
 	"heterosw/internal/profile"
@@ -105,11 +106,17 @@ type SearchOptions struct {
 	TopK int
 }
 
-func (o SearchOptions) matrix() *submat.Matrix {
-	if o.Matrix == nil {
-		return submat.BLOSUM62
+// matrixFor resolves the substitution matrix against a database alphabet:
+// an explicit Matrix wins, otherwise the alphabet's conventional default
+// (BLOSUM62 for protein as in the paper, the blastn +2/-3 scheme for DNA).
+func (o SearchOptions) matrixFor(alpha *alphabet.Alphabet) *submat.Matrix {
+	if o.Matrix != nil {
+		return o.Matrix
 	}
-	return o.Matrix
+	if alpha == alphabet.DNA {
+		return submat.NUC
+	}
+	return submat.BLOSUM62
 }
 
 func (o SearchOptions) kernelClass() device.KernelClass {
@@ -170,7 +177,17 @@ func (e *Engine) Search(query *sequence.Sequence, opt SearchOptions) (*Result, e
 		return nil, fmt.Errorf("core: %d threads exceeds %s's %d hardware threads",
 			threads, e.dev.Short, e.dev.MaxThreads())
 	}
-	qp := profile.NewQuery(query.Residues, opt.matrix())
+	alpha := e.db.Alphabet()
+	matrix := opt.matrixFor(alpha)
+	if matrix.Alphabet() != alpha {
+		return nil, fmt.Errorf("core: %s matrix %s against a %s database",
+			matrix.Alphabet().Name(), matrix.Name(), alpha.Name())
+	}
+	if qa := query.Alphabet(); qa != alpha {
+		return nil, fmt.Errorf("core: %s query %s against a %s database",
+			qa.Name(), query.ID, alpha.Name())
+	}
+	qp := profile.NewQuery(query.Residues, matrix)
 	// The 8-bit first pass doubles the lanes per vector word; it needs the
 	// biased byte profiles, so a matrix whose score range exceeds a byte
 	// silently starts the ladder at 16 bits instead.

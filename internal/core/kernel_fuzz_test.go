@@ -37,35 +37,40 @@ const fuzzLadderMaxCells = 2_000_000
 // fuzzSeqDelim separates database sequences in the raw fuzz input.
 const fuzzSeqDelim = 0xFF
 
-// fuzzResidues maps raw fuzz bytes onto the 24-letter alphabet.
-func fuzzResidues(raw []byte, max int) []alphabet.Code {
+// fuzzResiduesAlpha maps raw fuzz bytes onto an alphabet's code space.
+func fuzzResiduesAlpha(raw []byte, max int, alpha *alphabet.Alphabet) []alphabet.Code {
 	if len(raw) > max {
 		raw = raw[:max]
 	}
 	out := make([]alphabet.Code, len(raw))
 	for i, b := range raw {
-		out[i] = alphabet.Code(b % alphabet.Size)
+		out[i] = alphabet.Code(int(b) % alpha.Size())
 	}
 	return out
+}
+
+// fuzzResidues maps raw fuzz bytes onto the 24-letter protein alphabet.
+func fuzzResidues(raw []byte, max int) []alphabet.Code {
+	return fuzzResiduesAlpha(raw, max, alphabet.Protein)
 }
 
 // fuzzSequence builds an internal sequence from residue codes via the
 // ASCII round trip, so the input goes through the same constructor real
 // data does.
-func fuzzSequence(id string, codes []alphabet.Code) *sequence.Sequence {
-	return sequence.FromString(id, string(alphabet.DecodeAll(codes)))
+func fuzzSequence(id string, codes []alphabet.Code, alpha *alphabet.Alphabet) *sequence.Sequence {
+	return sequence.FromStringAlpha(id, string(alpha.DecodeAll(codes)), alpha)
 }
 
 // fuzzDatabase splits the raw bytes into database sequences on the
 // delimiter byte, applying the corpus caps.
-func fuzzDatabase(raw []byte, sorted bool) *seqdb.Database {
+func fuzzDatabase(raw []byte, sorted bool, alpha *alphabet.Alphabet) *seqdb.Database {
 	var seqs []*sequence.Sequence
 	var total int
 	for _, chunk := range bytes.Split(raw, []byte{fuzzSeqDelim}) {
 		if len(chunk) == 0 {
 			continue
 		}
-		codes := fuzzResidues(chunk, fuzzMaxSeqLen)
+		codes := fuzzResiduesAlpha(chunk, fuzzMaxSeqLen, alpha)
 		if total+len(codes) > fuzzMaxDBRes {
 			codes = codes[:fuzzMaxDBRes-total]
 			if len(codes) == 0 {
@@ -73,7 +78,7 @@ func fuzzDatabase(raw []byte, sorted bool) *seqdb.Database {
 			}
 		}
 		total += len(codes)
-		seqs = append(seqs, fuzzSequence("s", codes))
+		seqs = append(seqs, fuzzSequence("s", codes, alpha))
 		if len(seqs) >= fuzzMaxSeqs || total >= fuzzMaxDBRes {
 			break
 		}
@@ -138,7 +143,7 @@ func FuzzKernelParity(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, qRaw, dbRaw []byte, lanesSel, penSel, blockSel uint8) {
 		query := fuzzResidues(qRaw, fuzzMaxQuery)
-		db := fuzzDatabase(dbRaw, lanesSel&1 == 0)
+		db := fuzzDatabase(dbRaw, lanesSel&1 == 0, alphabet.Protein)
 		if db == nil {
 			return
 		}
@@ -228,6 +233,50 @@ func FuzzKernelParity(f *testing.F) {
 		check("intra-striped", striped)
 		if ladderOK {
 			check("intra-striped-8bit", ladder)
+		}
+
+		// DNA leg: the same raw input mapped onto the 15-letter IUPAC
+		// nucleotide alphabet and scored with the NUC match/mismatch matrix
+		// against the oracle — pins that no kernel, profile or packing path
+		// still assumes the 24-letter protein table. A reduced kernel set
+		// (scalar, intrinsic 16-bit, ladder 8-bit) bounds the extra cost;
+		// the protein leg above already sweeps the full variant matrix.
+		dnaQuery := fuzzResiduesAlpha(qRaw, fuzzMaxQuery, alphabet.DNA)
+		dnaDB := fuzzDatabase(dbRaw, lanesSel&1 == 0, alphabet.DNA)
+		if dnaDB != nil {
+			dsc := swalign.Scoring{Matrix: submat.NUC, GapOpen: p.GapOpen, GapExtend: p.GapExtend}
+			dqp := profile.NewQuery(dnaQuery, submat.NUC)
+			dwant := make([]int32, dnaDB.Len())
+			for i := 0; i < dnaDB.Len(); i++ {
+				dwant[i] = int32(swalign.Score(dnaQuery, dnaDB.Seq(i).Residues, dsc))
+			}
+			for _, s := range []struct {
+				v    Variant
+				prec Precision
+			}{
+				{NoVecSP, Prec16},
+				{IntrinsicSP, Prec16},
+				{IntrinsicSP, Prec8},
+			} {
+				if s.prec == Prec8 && !ladderOK {
+					continue
+				}
+				pv := p
+				pv.Variant = s.v
+				pv.Prec = s.prec
+				vl := lanes
+				if s.v.Vec() == VecNone {
+					vl = 1
+				}
+				got, _ := runVariantQuiet(dnaDB, dqp, pv, vl)
+				for i := range dwant {
+					if got[i] != dwant[i] {
+						t.Fatalf("dna %s (lanes=%d, q=%dnt, penalties %d/%d): seq %d (%dnt) scored %d, oracle %d",
+							VariantSpec(s.v, s.prec), vl, len(dnaQuery), p.GapOpen, p.GapExtend,
+							i, dnaDB.Seq(i).Len(), got[i], dwant[i])
+					}
+				}
+			}
 		}
 	})
 }

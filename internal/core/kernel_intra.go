@@ -78,7 +78,7 @@ func alignPairIntra(q *profile.Query, subject []alphabet.Code, p Params, buf *Bu
 				fij = v
 			}
 			// H(i,j) from (i-1, j-1) on diagonal d-2, row above.
-			hij := h2[i-1] + int32(qp[(i-1)*profile.TableWidth+int(subject[j-1])])
+			hij := h2[i-1] + int32(qp[(i-1)*q.Width+int(subject[j-1])])
 			if eij > hij {
 				hij = eij
 			}

@@ -75,14 +75,14 @@ func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Bu
 		}
 		vec.Set1(diagv, 0)
 		tileSeq := seqBytes[i0-1 : i1]
-		tileQP := q.QP[(i0-1)*profile.TableWidth:]
+		tileQP := q.QP[(i0-1)*q.Width:]
 		for jj := 1; jj <= N; jj++ {
 			col := g.Interleaved[(jj-1)*L : jj*L]
 			fbRow := vec.I16(fb[jj*L : jj*L+L])
 			copy(fcol, fbRow)
 			if isQP {
 				vec.StepCol16QP(vec.I16(h[L:]), vec.I16(e[L:]), fcol, diagv, maxv,
-					tileQP, profile.TableWidth, col, rows, L, qr, r)
+					tileQP, q.Width, col, rows, L, qr, r)
 			} else {
 				buf.sr.Build(q, col)
 				vec.StepCol16SP(vec.I16(h[L:]), vec.I16(e[L:]), fcol, diagv, maxv,

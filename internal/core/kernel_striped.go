@@ -29,13 +29,13 @@ const stripedLanes = 16
 // prof[((e*t)+i)*L + k].
 func stripedProfile(q *profile.Query, dst []int16, t int) []int16 {
 	L := stripedLanes
-	need := profile.TableWidth * t * L
+	need := q.Width * t * L
 	if cap(dst) < need {
 		dst = make([]int16, need)
 	}
 	dst = dst[:need]
 	m := q.Len()
-	for e := 0; e < profile.TableWidth; e++ {
+	for e := 0; e < q.Width; e++ {
 		row := q.ExtRow(e)
 		base := e * t * L
 		for i := 0; i < t; i++ {
@@ -205,14 +205,14 @@ const stripedLanes8 = 32
 // stripedProfile. Only valid when q.Bias8Viable().
 func stripedProfile8(q *profile.Query, dst []uint8, t int) []uint8 {
 	L := stripedLanes8
-	need := profile.TableWidth * t * L
+	need := q.Width * t * L
 	if cap(dst) < need {
 		dst = make([]uint8, need)
 	}
 	dst = dst[:need]
 	m := q.Len()
-	for e := 0; e < profile.TableWidth; e++ {
-		row := q.Ext8[e*profile.TableWidth : (e+1)*profile.TableWidth]
+	for e := 0; e < q.Width; e++ {
+		row := q.Ext8[e*q.Width : (e+1)*q.Width]
 		base := e * t * L
 		for i := 0; i < t; i++ {
 			for k := 0; k < L; k++ {

@@ -117,14 +117,14 @@ func alignGroupIntrinsic8(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *B
 		}
 		vec.Set1U8(diagv, 0)
 		tileSeq := seqBytes[i0-1 : i1]
-		tileQP := q.QP8[(i0-1)*profile.TableWidth:]
+		tileQP := q.QP8[(i0-1)*q.Width:]
 		for jj := 1; jj <= N; jj++ {
 			col := g.Interleaved[(jj-1)*L : jj*L]
 			fbRow := vec.U8(fb[jj*L : jj*L+L])
 			copy(fcol, fbRow)
 			if isQP {
 				vec.StepCol8QP(vec.U8(h[L:]), vec.U8(e[L:]), fcol, diagv, maxv,
-					tileQP, profile.TableWidth, col, rows, L, q.Bias, qr8, r8)
+					tileQP, q.Width, col, rows, L, q.Bias, qr8, r8)
 			} else {
 				buf.sr8.Build(q, col)
 				vec.StepCol8SP(vec.U8(h[L:]), vec.U8(e[L:]), fcol, diagv, maxv,

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/offload"
 	"heterosw/internal/sequence"
 	"heterosw/internal/swalign"
@@ -42,11 +43,11 @@ type AlignmentDetail struct {
 }
 
 // scoringFor derives the reference-alignment scoring from the search
-// options, so phase two scores under exactly the matrix and gap penalties
-// phase one searched with.
-func scoringFor(opt SearchOptions) swalign.Scoring {
+// options and the database alphabet, so phase two scores under exactly the
+// matrix and gap penalties phase one searched with.
+func scoringFor(opt SearchOptions, alpha *alphabet.Alphabet) swalign.Scoring {
 	return swalign.Scoring{
-		Matrix:    opt.matrix(),
+		Matrix:    opt.matrixFor(alpha),
 		GapOpen:   opt.Params.GapOpen,
 		GapExtend: opt.Params.GapExtend,
 	}
@@ -71,7 +72,7 @@ func (d *Dispatcher) AlignHits(ctx context.Context, query *sequence.Sequence, hi
 	if len(hits) == 0 {
 		return nil, nil
 	}
-	sc := scoringFor(opt.Search)
+	sc := scoringFor(opt.Search, d.db.Alphabet())
 	details := make([]AlignmentDetail, len(hits))
 	errs := make([]error, len(d.backends))
 	done := make([]int64, len(d.backends))

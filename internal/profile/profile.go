@@ -13,6 +13,11 @@
 // inter-task kernels to neutralise the tails of lanes shorter than their
 // group: the pad scores so negatively that padded cells can never raise a
 // lane's running maximum.
+//
+// Table dimensions follow the substitution matrix's alphabet: a Query built
+// from a protein matrix has Width 25 (24 residues + pad), one built from
+// the IUPAC DNA matrix has Width 16. The kernels read the dimensions off
+// the Query, never off a package constant.
 package profile
 
 import (
@@ -21,12 +26,14 @@ import (
 	"heterosw/internal/vec"
 )
 
-// PadIndex is the residue index used for lane padding in interleaved
-// database groups. It is one past the last real alphabet code.
+// PadIndex is the protein padding residue index — the value one past the
+// last protein alphabet code. Alphabet-generic code must use Query.Pad (or
+// the database alphabet's Size()) instead; this constant remains for the
+// protein-only call sites.
 const PadIndex = alphabet.Size
 
-// TableWidth is the residue-index range of profile tables: the alphabet
-// plus the padding pseudo-residue.
+// TableWidth is the protein profile table width: the protein alphabet plus
+// the padding pseudo-residue. Alphabet-generic code must use Query.Width.
 const TableWidth = alphabet.Size + 1
 
 // PadScore is the substitution score of the padding pseudo-residue against
@@ -43,12 +50,15 @@ type Query struct {
 	Seq []alphabet.Code
 	// Matrix is the substitution matrix the profiles were built from.
 	Matrix *submat.Matrix
-	// QP is the query profile, row-major (M rows x TableWidth columns):
-	// QP[(i-1)*TableWidth + e] = V(q_i, e). The PadIndex column holds
-	// PadScore.
+	// Pad is the padding residue index: the matrix alphabet's size.
+	// Width is the profile table width: Pad + 1. Every row of QP and Ext
+	// has Width entries; interleaved lane groups must pad with Pad.
+	Pad, Width int
+	// QP is the query profile, row-major (M rows x Width columns):
+	// QP[(i-1)*Width + e] = V(q_i, e). The Pad column holds PadScore.
 	QP []int16
 	// Ext is the pad-extended substitution table:
-	// Ext[e*TableWidth + d] = V(e, d), with PadScore wherever either index
+	// Ext[e*Width + d] = V(e, d), with PadScore wherever either index
 	// is the padding pseudo-residue.
 	Ext []int16
 	// MaxScore is Matrix.Max(), cached for overflow thresholds.
@@ -73,41 +83,47 @@ func (q *Query) Bias8Viable() bool { return q.Ext8 != nil }
 // profile tables carry past their logical length, so the native vector
 // backend's wide loads may over-read: vpgatherdd fetches a dword per
 // 16-bit entry (one element of over-read at the table end), and the 8-bit
-// shuffle lookup loads each 25-element row as two 16-byte halves (up to 7
-// bytes past the final row). internal/vec dispatches its gathering paths
-// only when the backing array has this headroom (checked via cap), so the
-// padding here is what makes the native QP and SP-build paths eligible.
+// shuffle lookup loads each Width-element row as 16-byte chunks (up to
+// 32-Width bytes past the final row — 32 covers every alphabet down to a
+// one-letter one). internal/vec dispatches its gathering paths only when
+// the backing array has this headroom (checked via cap), so the padding
+// here is what makes the native QP and SP-build paths eligible.
 const (
 	gatherPad16 = 2
-	gatherPad8  = 8
+	gatherPad8  = 32
 )
 
 func padded16(n int) []int16 { return make([]int16, n+gatherPad16)[:n] }
 func padded8(n int) []uint8  { return make([]uint8, n+gatherPad8)[:n] }
 
 // NewQuery builds the profiles for a query under a substitution matrix.
+// The query residues must be encoded under the matrix's alphabet.
 func NewQuery(seq []alphabet.Code, m *submat.Matrix) *Query {
+	size := m.Size()
+	width := size + 1
 	q := &Query{
 		Seq:      seq,
 		Matrix:   m,
-		QP:       padded16(len(seq) * TableWidth),
-		Ext:      padded16(TableWidth * TableWidth),
+		Pad:      size,
+		Width:    width,
+		QP:       padded16(len(seq) * width),
+		Ext:      padded16(width * width),
 		MaxScore: m.Max(),
 	}
-	for e := 0; e < alphabet.Size; e++ {
+	for e := 0; e < size; e++ {
 		row := m.Row(alphabet.Code(e))
-		base := e * TableWidth
-		for d := 0; d < alphabet.Size; d++ {
+		base := e * width
+		for d := 0; d < size; d++ {
 			q.Ext[base+d] = int16(row[d])
 		}
-		q.Ext[base+PadIndex] = PadScore
+		q.Ext[base+size] = PadScore
 	}
-	padBase := PadIndex * TableWidth
-	for d := 0; d < TableWidth; d++ {
+	padBase := size * width
+	for d := 0; d < width; d++ {
 		q.Ext[padBase+d] = PadScore
 	}
 	for i, r := range seq {
-		copy(q.QP[i*TableWidth:(i+1)*TableWidth], q.Ext[int(r)*TableWidth:(int(r)+1)*TableWidth])
+		copy(q.QP[i*width:(i+1)*width], q.Ext[int(r)*width:(int(r)+1)*width])
 	}
 	q.buildBias8()
 	return q
@@ -136,7 +152,7 @@ func (q *Query) buildBias8() {
 	}
 	q.QP8 = padded8(len(q.QP))
 	for i := range q.Seq {
-		copy(q.QP8[i*TableWidth:(i+1)*TableWidth], q.Ext8[int(q.Seq[i])*TableWidth:(int(q.Seq[i])+1)*TableWidth])
+		copy(q.QP8[i*q.Width:(i+1)*q.Width], q.Ext8[int(q.Seq[i])*q.Width:(int(q.Seq[i])+1)*q.Width])
 	}
 }
 
@@ -146,27 +162,29 @@ func (q *Query) Len() int { return len(q.Seq) }
 // QPRow returns the query-profile row for query position i (0-based): the
 // scores of q_i against every residue index including the pad.
 func (q *Query) QPRow(i int) []int16 {
-	return q.QP[i*TableWidth : (i+1)*TableWidth]
+	return q.QP[i*q.Width : (i+1)*q.Width]
 }
 
 // QPRow8 returns the biased uint8 query-profile row for query position i;
 // only valid when Bias8Viable.
 func (q *Query) QPRow8(i int) []uint8 {
-	return q.QP8[i*TableWidth : (i+1)*TableWidth]
+	return q.QP8[i*q.Width : (i+1)*q.Width]
 }
 
 // ExtRow returns the pad-extended substitution row for residue index e.
 func (q *Query) ExtRow(e int) []int16 {
-	return q.Ext[e*TableWidth : (e+1)*TableWidth]
+	return q.Ext[e*q.Width : (e+1)*q.Width]
 }
 
 // ScoreRows is the score-profile scratch for one database column: for every
 // residue index e, an L-lane vector of V(e, d_l) where d_l is lane l's
 // current database residue. Laid out row-major with stride = lane count, so
-// Row(e) is the contiguous vector the paper's SP inner loop loads.
+// Row(e) is the contiguous vector the paper's SP inner loop loads. The row
+// count follows the query's table width; the scratch grows on first use
+// and is reused across queries of any alphabet.
 type ScoreRows struct {
 	lanes int
-	rows  []int16 // TableWidth * lanes
+	rows  []int16 // Width * lanes of the last built query
 }
 
 // NewScoreRows allocates score-profile scratch for the given lane count.
@@ -179,12 +197,17 @@ func (sr *ScoreRows) Lanes() int { return sr.lanes }
 
 // Build fills the score rows for the current column's lane residues.
 // residues must have length Lanes(); entries are residue indices in
-// [0, TableWidth). The transposition — each lane copies one column of Ext
+// [0, q.Width). The transposition — each lane copies one column of Ext
 // — dispatches through vec.BuildRows16, which uses hardware gathers when
 // the native backend is selected (Ext carries the required spare
 // capacity) and a lane-major strided walk otherwise.
 func (sr *ScoreRows) Build(q *Query, residues []uint8) {
-	vec.BuildRows16(sr.rows, q.Ext, residues, TableWidth, sr.lanes, TableWidth)
+	n := q.Width * sr.lanes
+	if cap(sr.rows) < n {
+		sr.rows = make([]int16, n)
+	}
+	sr.rows = sr.rows[:n]
+	vec.BuildRows16(sr.rows, q.Ext, residues, q.Width, sr.lanes, q.Width)
 }
 
 // Row returns the L-lane score vector for query residue index e.
@@ -192,15 +215,16 @@ func (sr *ScoreRows) Row(e int) vec.I16 {
 	return vec.I16(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
 }
 
-// Raw exposes the packed row table (stride Lanes, TableWidth rows), the
-// form the fused column kernels in internal/vec consume directly.
+// Raw exposes the packed row table (stride Lanes, Width rows of the last
+// built query), the form the fused column kernels in internal/vec consume
+// directly.
 func (sr *ScoreRows) Raw() []int16 { return sr.rows }
 
 // ScoreRows8 is the biased uint8 score-profile scratch of the ladder's
 // 8-bit first pass, laid out exactly like ScoreRows.
 type ScoreRows8 struct {
 	lanes int
-	rows  []uint8 // TableWidth * lanes
+	rows  []uint8 // Width * lanes of the last built query
 }
 
 // NewScoreRows8 allocates 8-bit score-profile scratch for a lane count.
@@ -211,7 +235,12 @@ func NewScoreRows8(lanes int) *ScoreRows8 {
 // Build fills the biased score rows for the current column's lane residues
 // from the query's Ext8 table; only valid when q.Bias8Viable().
 func (sr *ScoreRows8) Build(q *Query, residues []uint8) {
-	vec.BuildRows8(sr.rows, q.Ext8, residues, TableWidth, sr.lanes, TableWidth)
+	n := q.Width * sr.lanes
+	if cap(sr.rows) < n {
+		sr.rows = make([]uint8, n)
+	}
+	sr.rows = sr.rows[:n]
+	vec.BuildRows8(sr.rows, q.Ext8, residues, q.Width, sr.lanes, q.Width)
 }
 
 // Row returns the L-lane biased score vector for query residue index e.
@@ -219,5 +248,5 @@ func (sr *ScoreRows8) Row(e int) vec.U8 {
 	return vec.U8(sr.rows[int(e)*sr.lanes : (int(e)+1)*sr.lanes])
 }
 
-// Raw exposes the packed biased row table (stride Lanes, TableWidth rows).
+// Raw exposes the packed biased row table (stride Lanes, Width rows).
 func (sr *ScoreRows8) Raw() []uint8 { return sr.rows }

@@ -12,7 +12,8 @@
 //	offset  size      field
 //	0       4         magic "SWDB"
 //	4       4         version (1)
-//	8       4         flags (bit 0: length-sorted processing order)
+//	8       4         flags (bit 0: length-sorted processing order;
+//	                  bit 1: DNA alphabet)
 //	12      4         alphabet length A
 //	16      8         sequence count N
 //	24      8         residue arena length R (bytes)
@@ -22,7 +23,9 @@
 //	52      4         shape-table count
 //	56      8         checksum: CRC-32C (Castagnoli) over bytes
 //	                  [0,56) ++ [64,EOF), widened to uint64
-//	64      A         alphabet letters (must equal alphabet.Letters)
+//	64      A         alphabet letters (the database alphabet's letter
+//	                  string, which must resolve via alphabet.ByLetters
+//	                  and agree with the DNA flag bit)
 //	...     4N        sequence lengths, uint32, caller order
 //	...     8N        arena offsets, uint64, caller order
 //	...     4N        processing order, uint32: order[i] = caller index
@@ -77,8 +80,13 @@ const (
 // headerSize is the fixed header length in bytes.
 const headerSize = 64
 
-// flagSorted marks a length-sorted processing order.
-const flagSorted = 1
+// flagSorted marks a length-sorted processing order; flagDNA marks a
+// database encoded under the IUPAC DNA alphabet (absent: protein, keeping
+// pre-DNA protein images byte-identical and readable by older readers).
+const (
+	flagSorted = 1
+	flagDNA    = 2
+)
 
 // The ErrBadIndex family: every way an index can fail to open wraps
 // ErrBadIndex, so callers can test the family with one errors.Is while
@@ -211,9 +219,10 @@ func Write(w io.Writer, db *seqdb.Database) (uint64, error) {
 		return 0, fmt.Errorf("swdb: %d sequences exceed the format's uint32 order table", n)
 	}
 	order := db.Order()
+	alpha := db.Alphabet()
 
 	var payload bytes.Buffer
-	payload.WriteString(alphabet.Letters)
+	payload.WriteString(alpha.Letters())
 
 	// Lengths and (sorted-order) arena offsets, both in caller order.
 	offsets := make([]uint64, n)
@@ -295,8 +304,11 @@ func Write(w io.Writer, db *seqdb.Database) (uint64, error) {
 	if db.Sorted() {
 		flags |= flagSorted
 	}
+	if alpha == alphabet.DNA {
+		flags |= flagDNA
+	}
 	binary.LittleEndian.PutUint32(hdr[8:12], flags)
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(alphabet.Letters)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(alpha.Letters())))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n))
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(db.Residues()))
 	binary.LittleEndian.PutUint64(hdr[32:40], uint64(blobLen))
@@ -399,8 +411,13 @@ func Read(data []byte) (*Index, error) {
 	}
 
 	pos := uint64(headerSize)
-	if string(data[pos:pos+alphaLen]) != alphabet.Letters {
+	alpha, err := alphabet.ByLetters(string(data[pos : pos+alphaLen]))
+	if err != nil {
 		return nil, fmt.Errorf("%w: alphabet %q", ErrBadLayout, data[pos:pos+alphaLen])
+	}
+	if (flags&flagDNA != 0) != (alpha == alphabet.DNA) {
+		return nil, fmt.Errorf("%w: DNA flag disagrees with the %s alphabet letters",
+			ErrBadLayout, alpha.Name())
 	}
 	pos += alphaLen
 
@@ -420,7 +437,7 @@ func Read(data []byte) (*Index, error) {
 	shapesRaw := data[pos : pos+shapesLen]
 	pos += shapesLen
 	arena := alphabet.CodesView(data[pos : pos+arenaLen])
-	if !alphabet.ValidCodes(arena) {
+	if !alpha.ValidCodes(arena) {
 		return nil, fmt.Errorf("%w: arena holds out-of-range residue codes", ErrBadLayout)
 	}
 
@@ -447,7 +464,7 @@ func Read(data []byte) (*Index, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: header blob: sequence %d description", ErrBadLayout, i)
 		}
-		seqArr[i] = sequence.Sequence{ID: id, Desc: desc, Residues: arena[off:end:end]}
+		seqArr[i] = sequence.Sequence{ID: id, Desc: desc, Residues: arena[off:end:end], Alpha: alpha}
 		seqs[i] = &seqArr[i]
 	}
 	if bpos != len(blob) {
@@ -515,9 +532,17 @@ func SniffFile(path string) bool {
 }
 
 // LoadDatabase opens either database representation, sniffed by magic:
-// a .swdb index (mapped zero-copy) or a FASTA file (parsed, encoded and
-// length-sorted). The returned kind is "swdb" or "fasta".
+// a .swdb index (mapped zero-copy, carrying its own alphabet) or a FASTA
+// file (parsed under the protein alphabet, encoded and length-sorted). The
+// returned kind is "swdb" or "fasta".
 func LoadDatabase(path string) (*seqdb.Database, string, error) {
+	return LoadDatabaseAlpha(path, alphabet.Protein)
+}
+
+// LoadDatabaseAlpha is LoadDatabase with an explicit alphabet for the
+// FASTA path. A .swdb index always decodes under its persisted alphabet;
+// fastaAlpha only governs how bare FASTA input is encoded.
+func LoadDatabaseAlpha(path string, fastaAlpha *alphabet.Alphabet) (*seqdb.Database, string, error) {
 	if _, err := os.Stat(path); err != nil {
 		return nil, "", err
 	}
@@ -528,7 +553,7 @@ func LoadDatabase(path string) (*seqdb.Database, string, error) {
 		}
 		return ix.Database(), "swdb", nil
 	}
-	seqs, err := sequence.ReadFASTAFile(path)
+	seqs, err := sequence.ReadFASTAFileAlpha(path, fastaAlpha)
 	if err != nil {
 		return nil, "", err
 	}

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"sort"
 
-	"heterosw/internal/profile"
+	"heterosw/internal/alphabet"
 	"heterosw/internal/sequence"
 )
 
@@ -21,6 +21,7 @@ type Database struct {
 	seqs   []*sequence.Sequence
 	order  []int // processing order: indices into seqs
 	sorted bool
+	alpha  *alphabet.Alphabet
 
 	totalResidues int64
 	maxLen        int
@@ -45,6 +46,7 @@ func New(seqs []*sequence.Sequence, sortByLength bool) *Database {
 		seqs:   seqs,
 		order:  make([]int, len(seqs)),
 		sorted: sortByLength,
+		alpha:  alphaOf(seqs),
 	}
 	for i, s := range seqs {
 		db.order[i] = i
@@ -72,7 +74,7 @@ func Restore(seqs []*sequence.Sequence, order []int, sorted bool, key string) (*
 	if len(order) != len(seqs) {
 		return nil, fmt.Errorf("seqdb: %d order entries for %d sequences", len(order), len(seqs))
 	}
-	db := &Database{seqs: seqs, order: order, sorted: sorted, key: key}
+	db := &Database{seqs: seqs, order: order, sorted: sorted, key: key, alpha: alphaOf(seqs)}
 	seen := make([]bool, len(seqs))
 	for _, si := range order {
 		if si < 0 || si >= len(seqs) || seen[si] {
@@ -89,8 +91,28 @@ func Restore(seqs []*sequence.Sequence, order []int, sorted bool, key string) (*
 	return db, nil
 }
 
+// alphaOf derives a sequence set's alphabet: the first sequence's, with an
+// empty set defaulting to protein. Mixed-alphabet sets are a construction
+// error caught here rather than as garbage scores in the kernels.
+func alphaOf(seqs []*sequence.Sequence) *alphabet.Alphabet {
+	if len(seqs) == 0 {
+		return alphabet.Protein
+	}
+	a := seqs[0].Alphabet()
+	for _, s := range seqs[1:] {
+		if s.Alphabet() != a {
+			panic(fmt.Sprintf("seqdb: mixed alphabets: %s holds %s residues in a %s database",
+				s.ID, s.Alphabet().Name(), a.Name()))
+		}
+	}
+	return a
+}
+
 // Len returns the number of sequences.
 func (db *Database) Len() int { return len(db.seqs) }
+
+// Alphabet returns the alphabet every member sequence is encoded under.
+func (db *Database) Alphabet() *alphabet.Alphabet { return db.alpha }
 
 // Key returns the database's content-identity fingerprint: non-empty for
 // index-backed databases and shards derived from them, where equal keys
@@ -134,8 +156,8 @@ func (db *Database) String() string {
 
 // LaneGroup packs up to Lanes database sequences for simultaneous
 // alignment by the inter-task kernels. Residues are interleaved
-// column-major: Interleaved[j*Lanes+l] is residue j of lane l, or
-// profile.PadIndex beyond lane l's true length.
+// column-major: Interleaved[j*Lanes+l] is residue j of lane l, or the
+// database alphabet's padding index (its Size) beyond lane l's true length.
 type LaneGroup struct {
 	// Lanes is the SIMD width the group was packed for.
 	Lanes int
@@ -210,8 +232,9 @@ func (db *Database) Partition(lanes, longThreshold int) ([]*LaneGroup, []int) {
 			}
 		}
 		g.Interleaved = make([]uint8, g.Width*lanes)
+		pad := uint8(db.alpha.Size())
 		for i := range g.Interleaved {
-			g.Interleaved[i] = profile.PadIndex
+			g.Interleaved[i] = pad
 		}
 		for oi := 0; oi < end-start; oi++ {
 			res := db.seqs[g.SeqIdx[oi]].Residues

@@ -11,11 +11,20 @@ import (
 	"heterosw/internal/alphabet"
 )
 
-// ReadFASTA parses all records from a FASTA stream. Sequence data may span
-// multiple lines; blank lines and ';' comment lines are ignored. Residue
-// letters outside the alphabet are encoded as X (tolerant mode), matching
-// the behaviour of typical database-search tools on Swiss-Prot dumps.
+// ReadFASTA parses all records from a FASTA stream under the protein
+// alphabet. Sequence data may span multiple lines; blank lines and ';'
+// comment lines are ignored. Residue letters outside the alphabet are
+// encoded as X (tolerant mode), matching the behaviour of typical
+// database-search tools on Swiss-Prot dumps.
 func ReadFASTA(r io.Reader) ([]*Sequence, error) {
+	return ReadFASTAAlpha(r, alphabet.Protein)
+}
+
+// ReadFASTAAlpha parses all records from a FASTA stream under an explicit
+// alphabet. Residue letters outside the alphabet encode as its unknown
+// code (X for protein, N for DNA); lowercase soft-masked residues encode
+// case-insensitively.
+func ReadFASTAAlpha(r io.Reader, alpha *alphabet.Alphabet) ([]*Sequence, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var (
 		out  []*Sequence
@@ -46,14 +55,14 @@ func ReadFASTA(r io.Reader) ([]*Sequence, error) {
 				if id == "" {
 					return nil, fmt.Errorf("fasta: line %d: empty header", line)
 				}
-				cur = &Sequence{ID: id, Desc: strings.TrimSpace(desc)}
+				cur = &Sequence{ID: id, Desc: strings.TrimSpace(desc), Alpha: alpha}
 				body = make([]alphabet.Code, 0, 256)
 			default:
 				if cur == nil {
 					return nil, fmt.Errorf("fasta: line %d: sequence data before first header", line)
 				}
 				for _, b := range l {
-					body = append(body, alphabet.MustEncode(b))
+					body = append(body, alpha.MustEncode(b))
 				}
 			}
 		}
@@ -68,18 +77,25 @@ func ReadFASTA(r io.Reader) ([]*Sequence, error) {
 	return out, nil
 }
 
-// ReadFASTAFile reads all records from a FASTA file on disk.
+// ReadFASTAFile reads all records from a FASTA file on disk under the
+// protein alphabet.
 func ReadFASTAFile(path string) ([]*Sequence, error) {
+	return ReadFASTAFileAlpha(path, alphabet.Protein)
+}
+
+// ReadFASTAFileAlpha reads all records from a FASTA file on disk under an
+// explicit alphabet.
+func ReadFASTAFileAlpha(path string, alpha *alphabet.Alphabet) ([]*Sequence, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadFASTA(f)
+	return ReadFASTAAlpha(f, alpha)
 }
 
 // WriteFASTA writes records in FASTA format with lines wrapped at width
-// residues (60 if width <= 0).
+// residues (60 if width <= 0). Each record decodes under its own alphabet.
 func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
 	if width <= 0 {
 		width = 60
@@ -89,7 +105,7 @@ func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
 		if _, err := fmt.Fprintf(bw, ">%s\n", s.Header()); err != nil {
 			return err
 		}
-		letters := alphabet.DecodeAll(s.Residues)
+		letters := s.Alphabet().DecodeAll(s.Residues)
 		for off := 0; off < len(letters); off += width {
 			end := off + width
 			if end > len(letters) {

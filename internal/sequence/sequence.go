@@ -1,11 +1,12 @@
-// Package sequence defines the protein sequence representation shared by
-// the database engine and alignment kernels, together with FASTA input and
-// output.
+// Package sequence defines the biological sequence representation shared
+// by the database engine and alignment kernels, together with FASTA input
+// and output.
 //
-// Residues are stored pre-encoded (alphabet.Code) so that alignment inner
-// loops never translate bytes. A Sequence is immutable after construction
-// by convention: the engine shares the underlying residue slices across
-// goroutines without copying.
+// Residues are stored pre-encoded (alphabet.Code) under the sequence's
+// alphabet — protein by default, IUPAC DNA for nucleotide data — so that
+// alignment inner loops never translate bytes. A Sequence is immutable
+// after construction by convention: the engine shares the underlying
+// residue slices across goroutines without copying.
 package sequence
 
 import (
@@ -14,7 +15,7 @@ import (
 	"heterosw/internal/alphabet"
 )
 
-// Sequence is a named, encoded protein sequence.
+// Sequence is a named, encoded sequence.
 type Sequence struct {
 	// ID is the FASTA identifier (first whitespace-delimited token of the
 	// header), e.g. an accession number.
@@ -24,13 +25,31 @@ type Sequence struct {
 	// Residues holds the encoded residues. Shared, not copied; treat as
 	// read-only.
 	Residues []alphabet.Code
+	// Alpha is the alphabet the residues are encoded under. nil means the
+	// protein alphabet, keeping zero-valued and legacy-constructed
+	// sequences valid.
+	Alpha *alphabet.Alphabet
 }
 
-// New encodes an ASCII residue string into a Sequence. Unrecognised bytes
-// map to the unknown residue X, mirroring the tolerant behaviour of common
-// search tools.
+// Alphabet returns the alphabet the residues are encoded under.
+func (s *Sequence) Alphabet() *alphabet.Alphabet {
+	if s.Alpha == nil {
+		return alphabet.Protein
+	}
+	return s.Alpha
+}
+
+// New encodes an ASCII residue string into a protein Sequence.
+// Unrecognised bytes map to the unknown residue X, mirroring the tolerant
+// behaviour of common search tools.
 func New(id string, residues []byte) *Sequence {
-	return &Sequence{ID: id, Residues: alphabet.EncodeAll(residues)}
+	return NewAlpha(id, residues, alphabet.Protein)
+}
+
+// NewAlpha encodes an ASCII residue string under an explicit alphabet.
+// Unrecognised bytes map to the alphabet's unknown residue.
+func NewAlpha(id string, residues []byte, alpha *alphabet.Alphabet) *Sequence {
+	return &Sequence{ID: id, Residues: alpha.EncodeAll(residues), Alpha: alpha}
 }
 
 // FromString is a convenience wrapper over New for literal sequences.
@@ -38,11 +57,16 @@ func FromString(id, residues string) *Sequence {
 	return New(id, []byte(residues))
 }
 
+// FromStringAlpha is a convenience wrapper over NewAlpha for literals.
+func FromStringAlpha(id, residues string, alpha *alphabet.Alphabet) *Sequence {
+	return NewAlpha(id, []byte(residues), alpha)
+}
+
 // Len returns the number of residues.
 func (s *Sequence) Len() int { return len(s.Residues) }
 
 // String renders the residues as ASCII letters.
-func (s *Sequence) String() string { return string(alphabet.DecodeAll(s.Residues)) }
+func (s *Sequence) String() string { return string(s.Alphabet().DecodeAll(s.Residues)) }
 
 // Header renders the FASTA header line content (without the leading '>').
 func (s *Sequence) Header() string {
@@ -61,5 +85,6 @@ func (s *Sequence) Slice(from, to int) *Sequence {
 	return &Sequence{
 		ID:       fmt.Sprintf("%s[%d:%d]", s.ID, from, to),
 		Residues: s.Residues[from:to],
+		Alpha:    s.Alpha,
 	}
 }

@@ -42,10 +42,11 @@ func TestBuiltinsSymmetric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := alphabet.Code(0); int(i) < alphabet.Size; i++ {
-			for j := alphabet.Code(0); int(j) < alphabet.Size; j++ {
+		a := m.Alphabet()
+		for i := alphabet.Code(0); int(i) < m.Size(); i++ {
+			for j := alphabet.Code(0); int(j) < m.Size(); j++ {
 				if m.Score(i, j) != m.Score(j, i) {
-					t.Fatalf("%s asymmetric at (%c,%c)", name, alphabet.Decode(i), alphabet.Decode(j))
+					t.Fatalf("%s asymmetric at (%c,%c)", name, a.Decode(i), a.Decode(j))
 				}
 			}
 		}
@@ -55,9 +56,13 @@ func TestBuiltinsSymmetric(t *testing.T) {
 func TestBuiltinsDiagonalPositive(t *testing.T) {
 	for _, name := range Names() {
 		m, _ := ByName(name)
-		for c := alphabet.Code(0); c < 20; c++ {
+		a := m.Alphabet()
+		for c := alphabet.Code(0); int(c) < m.Size(); c++ {
+			if !a.IsStandard(c) {
+				continue
+			}
 			if m.Score(c, c) <= 0 {
-				t.Errorf("%s: self score of %c is %d, want > 0", name, alphabet.Decode(c), m.Score(c, c))
+				t.Errorf("%s: self score of %c is %d, want > 0", name, a.Decode(c), m.Score(c, c))
 			}
 		}
 	}
@@ -98,14 +103,15 @@ func TestFormatParseRoundTrip(t *testing.T) {
 	for _, name := range Names() {
 		m, _ := ByName(name)
 		text := Format(m)
-		back, err := Parse(name, strings.NewReader(text))
+		back, err := Parse(name, strings.NewReader(text), m.Alphabet())
 		if err != nil {
 			t.Fatalf("%s: reparse: %v", name, err)
 		}
-		for i := alphabet.Code(0); int(i) < alphabet.Size; i++ {
-			for j := alphabet.Code(0); int(j) < alphabet.Size; j++ {
+		a := m.Alphabet()
+		for i := alphabet.Code(0); int(i) < m.Size(); i++ {
+			for j := alphabet.Code(0); int(j) < m.Size(); j++ {
 				if m.Score(i, j) != back.Score(i, j) {
-					t.Fatalf("%s: round trip differs at (%c,%c)", name, alphabet.Decode(i), alphabet.Decode(j))
+					t.Fatalf("%s: round trip differs at (%c,%c)", name, a.Decode(i), a.Decode(j))
 				}
 			}
 		}
@@ -123,7 +129,7 @@ func TestParseErrors(t *testing.T) {
 		"overflow":     "A R\nA 1000 0\nR 0 1000\n",
 	}
 	for name, text := range cases {
-		if _, err := Parse("t", strings.NewReader(text)); err == nil {
+		if _, err := ParseProtein("t", strings.NewReader(text)); err == nil {
 			t.Errorf("Parse(%s) succeeded, want error", name)
 		}
 	}
@@ -132,7 +138,7 @@ func TestParseErrors(t *testing.T) {
 func TestParsePartialMatrix(t *testing.T) {
 	// A 2-residue matrix: unseen pairs must take the minimum score (-3).
 	text := "   A  R\nA  4 -3\nR -3  5\n"
-	m, err := Parse("mini", strings.NewReader(text))
+	m, err := ParseProtein("mini", strings.NewReader(text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,10 +152,10 @@ func TestParsePartialMatrix(t *testing.T) {
 }
 
 func TestNewRejectsAsymmetric(t *testing.T) {
-	var s [alphabet.Size][alphabet.Size]int8
-	s[0][1] = 3
-	s[1][0] = -3
-	if _, err := New("bad", s); err == nil {
+	s := make([]int8, alphabet.Size*alphabet.Size)
+	s[0*alphabet.Size+1] = 3
+	s[1*alphabet.Size+0] = -3
+	if _, err := New("bad", alphabet.Protein, s); err == nil {
 		t.Fatal("New accepted asymmetric matrix")
 	}
 }

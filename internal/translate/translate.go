@@ -1,0 +1,134 @@
+// Package translate implements six-frame translation of DNA sequences
+// into protein, the preprocessing step of blastx-style translated search:
+// a nucleotide query is translated in all six reading frames (three
+// offsets on each strand) and each frame is searched against a protein
+// database with the unmodified protein kernels. The package also supplies
+// the coordinate mapping from aligned protein segments back to the
+// original DNA, which reporting needs to cite nucleotide positions.
+package translate
+
+import (
+	"fmt"
+
+	"heterosw/internal/alphabet"
+)
+
+// complement maps each IUPAC DNA code to its complement code, in the
+// alphabet's "ACGTNRYSWKMBDHV" order. Ambiguity codes complement to the
+// code matching the complemented base set (R={A,G} <-> Y={C,T}, S and W
+// are self-complementary, K={G,T} <-> M={A,C}, B <-> V, D <-> H).
+var complement = [15]alphabet.Code{
+	3, 2, 1, 0, // A<->T, C<->G
+	4,    // N
+	6, 5, // R<->Y
+	7, 8, // S, W self
+	10, 9, // K<->M
+	14, 13, // B->V, D->H
+	12, 11, // H->D, V->B
+}
+
+// codonAA maps a codon index (16*a + 4*b + c over standard base codes
+// A=0, C=1, G=2, T=3) to the protein code of the encoded amino acid under
+// the standard genetic code, with '*' for the stop codons.
+var codonAA [64]alphabet.Code
+
+func init() {
+	// The classic genetic-code string, indexed 16*b1+4*b2+b3 over the
+	// textbook base order T=0, C=1, A=2, G=3.
+	const tcag = "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG"
+	// Our DNA codes order A, C, G, T; remap each base to its textbook index.
+	toTCAG := [4]int{2, 1, 3, 0}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				aa := tcag[16*toTCAG[a]+4*toTCAG[b]+toTCAG[c]]
+				codonAA[16*a+4*b+c] = alphabet.Protein.MustEncode(aa)
+			}
+		}
+	}
+}
+
+// ReverseComplement returns the reverse complement of a DNA code sequence
+// as a fresh slice.
+func ReverseComplement(dna []alphabet.Code) []alphabet.Code {
+	out := make([]alphabet.Code, len(dna))
+	for i, c := range dna {
+		out[len(dna)-1-i] = complement[c]
+	}
+	return out
+}
+
+// Codon translates one codon of DNA codes into a protein code. A codon
+// containing any ambiguity code (including N) translates to the protein
+// unknown X, the tolerant behaviour of translated-search tools.
+func Codon(a, b, c alphabet.Code) alphabet.Code {
+	if a >= 4 || b >= 4 || c >= 4 {
+		return alphabet.Unknown
+	}
+	return codonAA[16*int(a)+4*int(b)+int(c)]
+}
+
+// Frame is one reading frame of a DNA sequence: the translated protein
+// codes plus everything needed to map protein coordinates back to the
+// original (forward-strand) DNA.
+type Frame struct {
+	// Index identifies the frame blastx-style: +1, +2, +3 translate the
+	// forward strand starting at offsets 0, 1, 2; -1, -2, -3 the reverse
+	// complement at the same offsets.
+	Index int
+	// Protein holds the translated protein codes (length dnaLen-offset / 3).
+	Protein []alphabet.Code
+
+	offset int // start offset on the translated strand
+	dnaLen int // original DNA length
+}
+
+// Name renders the frame index in the conventional signed form ("+2", "-1").
+func (f *Frame) Name() string { return fmt.Sprintf("%+d", f.Index) }
+
+// Reverse reports whether the frame reads the reverse-complement strand.
+func (f *Frame) Reverse() bool { return f.Index < 0 }
+
+// DNARange maps a half-open protein residue range [aaStart, aaEnd) of this
+// frame back to the half-open nucleotide range it was translated from, in
+// forward-strand coordinates of the original DNA sequence.
+func (f *Frame) DNARange(aaStart, aaEnd int) (start, end int) {
+	s := f.offset + 3*aaStart
+	e := f.offset + 3*aaEnd
+	if !f.Reverse() {
+		return s, e
+	}
+	// Positions on the reverse complement count from the 3' end of the
+	// original strand: revcomp index r is original index dnaLen-1-r.
+	return f.dnaLen - e, f.dnaLen - s
+}
+
+// frame translates one strand at one offset.
+func frame(strand []alphabet.Code, index, offset, dnaLen int) *Frame {
+	n := (len(strand) - offset) / 3
+	if n < 0 {
+		n = 0
+	}
+	aa := make([]alphabet.Code, n)
+	for i := 0; i < n; i++ {
+		p := offset + 3*i
+		aa[i] = Codon(strand[p], strand[p+1], strand[p+2])
+	}
+	return &Frame{Index: index, Protein: aa, offset: offset, dnaLen: dnaLen}
+}
+
+// Frames translates dna (encoded under the DNA alphabet) in all six
+// reading frames: +1, +2, +3, -1, -2, -3. Frames too short to hold a
+// codon are returned with an empty translation so frame indexing stays
+// uniform for callers.
+func Frames(dna []alphabet.Code) []*Frame {
+	rc := ReverseComplement(dna)
+	out := make([]*Frame, 0, 6)
+	for off := 0; off < 3; off++ {
+		out = append(out, frame(dna, off+1, off, len(dna)))
+	}
+	for off := 0; off < 3; off++ {
+		out = append(out, frame(rc, -(off+1), off, len(dna)))
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package translate
+
+import (
+	"testing"
+
+	"heterosw/internal/alphabet"
+)
+
+func dna(t *testing.T, s string) []alphabet.Code {
+	t.Helper()
+	return alphabet.DNA.EncodeAll([]byte(s))
+}
+
+func protein(t *testing.T, cs []alphabet.Code) string {
+	t.Helper()
+	return string(alphabet.Protein.DecodeAll(cs))
+}
+
+func TestReverseComplement(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ACGT", "ACGT"},
+		{"AAACCC", "GGGTTT"},
+		{"ATGN", "NCAT"},
+		{"RYSWKMBDHV", "BDHVKMWSRY"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		got := string(alphabet.DNA.DecodeAll(ReverseComplement(dna(t, c.in))))
+		if got != c.want {
+			t.Errorf("ReverseComplement(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	in := dna(t, "ATGCGTNNRYACGTAGCTAGSWKM")
+	back := ReverseComplement(ReverseComplement(in))
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("double complement differs at %d", i)
+		}
+	}
+}
+
+func TestCodonKnownValues(t *testing.T) {
+	cases := []struct {
+		codon string
+		want  byte
+	}{
+		{"ATG", 'M'}, {"TGG", 'W'}, {"TTT", 'F'}, {"AAA", 'K'},
+		{"TAA", '*'}, {"TAG", '*'}, {"TGA", '*'},
+		{"GGG", 'G'}, {"GCT", 'A'}, {"TGT", 'C'},
+		{"ANA", 'X'}, {"RTG", 'X'}, // ambiguity anywhere -> X
+	}
+	for _, c := range cases {
+		cs := dna(t, c.codon)
+		got := alphabet.Protein.Decode(Codon(cs[0], cs[1], cs[2]))
+		if got != c.want {
+			t.Errorf("Codon(%s) = %c, want %c", c.codon, got, c.want)
+		}
+	}
+}
+
+// The six frames of a known sequence, checked against hand translation.
+func TestFramesTranslation(t *testing.T) {
+	// Forward: ATG GCC TGA -> MA*
+	// revcomp(ATGGCCTGA) = TCAGGCCAT: TCA GGC CAT -> SGH
+	fs := Frames(dna(t, "ATGGCCTGA"))
+	if len(fs) != 6 {
+		t.Fatalf("Frames returned %d frames", len(fs))
+	}
+	want := map[int]string{
+		1: "MA*", 2: "WP", 3: "GL",
+		-1: "SGH", -2: "QA", -3: "RP",
+	}
+	for _, f := range fs {
+		if got := protein(t, f.Protein); got != want[f.Index] {
+			t.Errorf("frame %+d = %q, want %q", f.Index, got, want[f.Index])
+		}
+	}
+}
+
+func TestFramesShortInput(t *testing.T) {
+	for _, s := range []string{"", "A", "AC"} {
+		fs := Frames(dna(t, s))
+		if len(fs) != 6 {
+			t.Fatalf("Frames(%q) returned %d frames", s, len(fs))
+		}
+		for _, f := range fs {
+			if len(f.Protein) != 0 {
+				t.Errorf("Frames(%q) frame %+d non-empty", s, f.Index)
+			}
+		}
+	}
+}
+
+func TestDNARangeForward(t *testing.T) {
+	fs := Frames(dna(t, "ATGGCCTGA"))
+	// Frame +1, protein [0,2) = residues M,A -> DNA [0,6).
+	s, e := fs[0].DNARange(0, 2)
+	if s != 0 || e != 6 {
+		t.Errorf("+1 [0,2) -> [%d,%d), want [0,6)", s, e)
+	}
+	// Frame +2, protein [1,2) -> DNA [4,7).
+	s, e = fs[1].DNARange(1, 2)
+	if s != 4 || e != 7 {
+		t.Errorf("+2 [1,2) -> [%d,%d), want [4,7)", s, e)
+	}
+}
+
+func TestDNARangeReverse(t *testing.T) {
+	n := 9
+	fs := Frames(dna(t, "ATGGCCTGA"))
+	// Frame -1 offset 0: protein [0,1) covers revcomp [0,3) = original [6,9).
+	s, e := fs[3].DNARange(0, 1)
+	if s != n-3 || e != n {
+		t.Errorf("-1 [0,1) -> [%d,%d), want [%d,%d)", s, e, n-3, n)
+	}
+	// Frame -2 offset 1: protein [1,2) covers revcomp [4,7) = original [2,5).
+	s, e = fs[4].DNARange(1, 2)
+	if s != 2 || e != 5 {
+		t.Errorf("-2 [1,2) -> [%d,%d), want [2,5)", s, e)
+	}
+}
+
+// Every frame's DNARange must map its full span inside the original
+// sequence, and a reverse frame's range must translate (as revcomp) back
+// to the frame's own protein.
+func TestDNARangeRoundTrip(t *testing.T) {
+	seq := dna(t, "ATGCGTACGTTAGCCATGACGTACGATCG")
+	for _, f := range Frames(seq) {
+		n := len(f.Protein)
+		if n == 0 {
+			continue
+		}
+		s, e := f.DNARange(0, n)
+		if s < 0 || e > len(seq) || e-s != 3*n {
+			t.Fatalf("frame %+d full range [%d,%d) invalid", f.Index, s, e)
+		}
+		segment := seq[s:e]
+		if f.Reverse() {
+			segment = ReverseComplement(segment)
+		}
+		for i := 0; i < n; i++ {
+			if got := Codon(segment[3*i], segment[3*i+1], segment[3*i+2]); got != f.Protein[i] {
+				t.Fatalf("frame %+d residue %d: mapped codon translates to %c, frame holds %c",
+					f.Index, i, alphabet.Protein.Decode(got), alphabet.Protein.Decode(f.Protein[i]))
+			}
+		}
+	}
+}

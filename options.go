@@ -2,11 +2,27 @@ package heterosw
 
 import (
 	"fmt"
+	"strings"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/core"
 	"heterosw/internal/device"
 	"heterosw/internal/sched"
 	"heterosw/internal/submat"
+)
+
+// ErrBadMatrix is the family sentinel wrapped by every rejected
+// user-supplied substitution matrix (Options.MatrixText, the swsearch
+// -matrixfile flag, the HTTP "matrix" field): test with errors.Is. The
+// three members name the specific defect — an alphabet line that does not
+// match the target alphabet, a non-square or asymmetric score table, and
+// scores outside the int8 range the 8-bit ladder's bias arithmetic
+// requires.
+var (
+	ErrBadMatrix         = submat.ErrBadMatrix
+	ErrBadMatrixAlphabet = submat.ErrBadAlphabet
+	ErrMatrixNotSquare   = submat.ErrNotSquare
+	ErrMatrixScoreRange  = submat.ErrScoreRange
 )
 
 // DeviceKind names one of the modelled devices.
@@ -89,9 +105,15 @@ type Options struct {
 	Device DeviceKind
 	// Variant is a kernel variant name (VariantIntrinsicSP when empty).
 	Variant string
-	// Matrix is a built-in substitution matrix name (BLOSUM62 when
-	// empty): BLOSUM45/50/62/80 or PAM250.
+	// Matrix is a built-in substitution matrix name: BLOSUM45/50/62/80,
+	// PAM250 or NUC (the blastn +2/-3 nucleotide scheme). When empty the
+	// database alphabet's conventional default applies: BLOSUM62 for
+	// protein, NUC for DNA.
 	Matrix string
+	// MatrixText, when non-empty, supplies a custom substitution matrix in
+	// the NCBI textual format, parsed against the database's alphabet. It
+	// overrides Matrix. Parse failures wrap ErrBadMatrix.
+	MatrixText string
 	// GapOpen and GapExtend are the affine gap penalties q and r of the
 	// paper's Eq. 5; a gap of length x costs q + r*x. Both default to the
 	// paper's 10 and 2 when zero. Use NoGapDefaults to pass literal
@@ -126,7 +148,10 @@ type Options struct {
 	IntraKernel string
 }
 
-func (o Options) toCore() (core.SearchOptions, error) {
+// toCore resolves the options against the target database's alphabet,
+// which governs the default matrix and the alphabet custom matrix text is
+// parsed under.
+func (o Options) toCore(alpha *alphabet.Alphabet) (core.SearchOptions, error) {
 	out := core.SearchOptions{
 		Threads:          o.Threads,
 		ChunkSize:        o.ChunkSize,
@@ -142,11 +167,16 @@ func (o Options) toCore() (core.SearchOptions, error) {
 	if err != nil {
 		return out, err
 	}
-	matrix := o.Matrix
-	if matrix == "" {
-		matrix = "BLOSUM62"
+	var m *submat.Matrix
+	switch {
+	case o.MatrixText != "":
+		m, err = submat.Parse("custom", strings.NewReader(o.MatrixText), alpha)
+	case o.Matrix != "":
+		m, err = submat.ByName(o.Matrix)
+	default:
+		// Leave nil: the engine applies the alphabet's default
+		// (BLOSUM62 for protein, NUC for DNA).
 	}
-	m, err := submat.ByName(matrix)
 	if err != nil {
 		return out, err
 	}

@@ -28,7 +28,11 @@ func WriteReport(w io.Writer, query Sequence, db *Database, res *ClusterResult, 
 		width = 60
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "query:    %s (%d aa)\n", query.ID(), query.Len())
+	unit := "aa"
+	if query.Alphabet() == "dna" {
+		unit = "nt"
+	}
+	fmt.Fprintf(&sb, "query:    %s (%d %s)\n", query.ID(), query.Len(), unit)
 	fmt.Fprintf(&sb, "database: %s\n", db)
 	if res.Significance != nil {
 		fmt.Fprintf(&sb, "model:    %s\n", res.Significance)
@@ -43,12 +47,17 @@ func WriteReport(w io.Writer, query Sequence, db *Database, res *ClusterResult, 
 	}
 	fmt.Fprintf(&sb, "%4s  %-*s %7s", "#", idw, "subject", "score")
 	withSig := res.Significance != nil
-	var withAlign bool
+	var withAlign, withFrame bool
 	for _, h := range res.Hits {
 		if h.Alignment != nil {
 			withAlign = true
-			break
 		}
+		if h.Frame != 0 {
+			withFrame = true
+		}
+	}
+	if withFrame {
+		fmt.Fprintf(&sb, " %5s", "frame")
 	}
 	if withSig {
 		fmt.Fprintf(&sb, " %8s %10s", "bits", "e-value")
@@ -59,6 +68,9 @@ func WriteReport(w io.Writer, query Sequence, db *Database, res *ClusterResult, 
 	sb.WriteByte('\n')
 	for i, h := range res.Hits {
 		fmt.Fprintf(&sb, "%4d  %-*s %7d", i+1, idw, h.ID, h.Score)
+		if withFrame {
+			fmt.Fprintf(&sb, " %+5d", h.Frame)
+		}
 		if withSig {
 			if h.Significance != nil {
 				fmt.Fprintf(&sb, " %8.1f %10.3g", h.Significance.BitScore, h.Significance.EValue)
@@ -76,12 +88,22 @@ func WriteReport(w io.Writer, query Sequence, db *Database, res *ClusterResult, 
 		sb.WriteByte('\n')
 	}
 
+	var frames map[int]Sequence
 	for _, h := range res.Hits {
 		if h.Alignment == nil {
 			continue
 		}
+		// Translated hits expand their CIGAR against the winning frame's
+		// protein, not the DNA query.
+		q := query
+		if h.Frame != 0 {
+			if frames == nil {
+				frames = frameQueries(query)
+			}
+			q = frames[h.Frame]
+		}
 		sb.WriteByte('\n')
-		if err := renderHitAlignment(&sb, query, db.Seq(h.Index), h, width); err != nil {
+		if err := renderHitAlignment(&sb, q, db.Seq(h.Index), h, width); err != nil {
 			return err
 		}
 	}
@@ -95,6 +117,9 @@ func WriteReport(w io.Writer, query Sequence, db *Database, res *ClusterResult, 
 func renderHitAlignment(sb *strings.Builder, query, subject Sequence, h Hit, width int) error {
 	a := h.Alignment
 	fmt.Fprintf(sb, "> %s  score=%d", h.ID, h.Score)
+	if h.Frame != 0 {
+		fmt.Fprintf(sb, " frame=%+d query_dna=%d..%d", h.Frame, a.QueryDNAStart+1, a.QueryDNAEnd)
+	}
 	if s := h.Significance; s != nil {
 		fmt.Fprintf(sb, " bits=%.1f evalue=%.3g", s.BitScore, s.EValue)
 	}

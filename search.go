@@ -50,6 +50,10 @@ func newDatabase(seqs []Sequence, sorted bool) (*Database, error) {
 // Len returns the number of sequences.
 func (d *Database) Len() int { return d.db.Len() }
 
+// Alphabet returns the name of the alphabet every database sequence is
+// encoded under: "protein" or "dna".
+func (d *Database) Alphabet() string { return d.db.Alphabet().Name() }
+
 // Residues returns the total residue count.
 func (d *Database) Residues() int64 { return d.db.Residues() }
 
@@ -88,6 +92,10 @@ type Hit struct {
 	ID string
 	// Score is the optimal Smith-Waterman score.
 	Score int
+	// Frame is the reading frame (+1, +2, +3, -1, -2, -3) the hit's best
+	// score was found in, for translated searches (SearchTranslated); 0
+	// for direct protein or DNA searches.
+	Frame int
 	// Alignment carries the phase-two traceback detail (coordinates,
 	// CIGAR, identities). It is nil unless the search requested
 	// ReportOptions.Alignments and the hit is within the report's top-K.
@@ -102,9 +110,15 @@ type Hit struct {
 // full dynamic-programming matrix (reporting phase two).
 type HitAlignment struct {
 	// QueryStart/QueryEnd and SubjectStart/SubjectEnd delimit the aligned
-	// segments as half-open residue ranges.
+	// segments as half-open residue ranges. For translated searches the
+	// query coordinates count residues of the hit's reading frame.
 	QueryStart, QueryEnd     int
 	SubjectStart, SubjectEnd int
+	// QueryDNAStart/QueryDNAEnd delimit, for translated searches, the
+	// half-open nucleotide range of the original DNA query (forward-strand
+	// coordinates) the aligned frame segment was translated from; both
+	// zero for direct searches.
+	QueryDNAStart, QueryDNAEnd int
 	// CIGAR is the alignment path in run-length notation, e.g. "12M2D5M".
 	CIGAR string
 	// Identities counts exactly-matching columns; Columns is the total
@@ -184,7 +198,7 @@ func (d *Database) Search(query Sequence, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	copt, err := opt.toCore()
+	copt, err := opt.toCore(d.db.Alphabet())
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +266,7 @@ func (d *Database) SearchHetero(query Sequence, opt HeteroOptions) (*HeteroResul
 	if share > 1 {
 		return nil, fmt.Errorf("heterosw: PhiShare %v > 1", opt.PhiShare)
 	}
-	copt, err := opt.Options.toCore()
+	copt, err := opt.Options.toCore(d.db.Alphabet())
 	if err != nil {
 		return nil, err
 	}

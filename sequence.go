@@ -4,22 +4,40 @@ import (
 	"fmt"
 	"io"
 
+	"heterosw/internal/alphabet"
 	"heterosw/internal/datagen"
 	"heterosw/internal/sequence"
 )
 
-// Sequence is an immutable protein sequence. The zero value is an empty
-// sequence; construct real ones with NewSequence, ReadFASTA or the
-// synthetic generators.
+// Sequence is an immutable biological sequence, protein or DNA. The zero
+// value is an empty protein sequence; construct real ones with
+// NewSequence, NewDNASequence, ReadFASTA or the synthetic generators.
 type Sequence struct {
 	impl *sequence.Sequence
 }
 
-// NewSequence builds a sequence from an identifier and ASCII residues.
-// Letters outside the 24-letter protein alphabet are stored as the unknown
-// residue X.
+// NewSequence builds a protein sequence from an identifier and ASCII
+// residues. Letters outside the 24-letter protein alphabet are stored as
+// the unknown residue X.
 func NewSequence(id, residues string) Sequence {
 	return Sequence{impl: sequence.FromString(id, residues)}
+}
+
+// NewDNASequence builds a nucleotide sequence over the 15-letter IUPAC DNA
+// alphabet. Lowercase (soft-masked) bases encode case-insensitively, U is
+// accepted as T, and any other unrecognised letter is stored as the
+// unknown base N.
+func NewDNASequence(id, residues string) Sequence {
+	return Sequence{impl: sequence.FromStringAlpha(id, residues, alphabet.DNA)}
+}
+
+// Alphabet returns the name of the alphabet the sequence is encoded
+// under: "protein" or "dna".
+func (s Sequence) Alphabet() string {
+	if s.impl == nil {
+		return alphabet.Protein.Name()
+	}
+	return s.impl.Alphabet().Name()
 }
 
 // ID returns the sequence identifier.
@@ -78,7 +96,7 @@ func unwrapSeqs(in []Sequence) ([]*sequence.Sequence, error) {
 	return out, nil
 }
 
-// ReadFASTA parses all records from a FASTA stream.
+// ReadFASTA parses all records from a FASTA stream as protein sequences.
 func ReadFASTA(r io.Reader) ([]Sequence, error) {
 	seqs, err := sequence.ReadFASTA(r)
 	if err != nil {
@@ -87,9 +105,30 @@ func ReadFASTA(r io.Reader) ([]Sequence, error) {
 	return wrapSeqs(seqs), nil
 }
 
-// ReadFASTAFile parses all records from a FASTA file.
+// ReadFASTAFile parses all records from a FASTA file as protein sequences.
 func ReadFASTAFile(path string) ([]Sequence, error) {
 	seqs, err := sequence.ReadFASTAFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSeqs(seqs), nil
+}
+
+// ReadDNAFASTA parses all records from a FASTA stream as nucleotide
+// sequences under the IUPAC DNA alphabet (see NewDNASequence for the
+// letter handling).
+func ReadDNAFASTA(r io.Reader) ([]Sequence, error) {
+	seqs, err := sequence.ReadFASTAAlpha(r, alphabet.DNA)
+	if err != nil {
+		return nil, err
+	}
+	return wrapSeqs(seqs), nil
+}
+
+// ReadDNAFASTAFile parses all records from a FASTA file as nucleotide
+// sequences.
+func ReadDNAFASTAFile(path string) ([]Sequence, error) {
+	seqs, err := sequence.ReadFASTAFileAlpha(path, alphabet.DNA)
 	if err != nil {
 		return nil, err
 	}

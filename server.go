@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"heterosw/internal/device"
@@ -19,6 +20,7 @@ import (
 //
 //	POST /search   {"id": "q1", "residues": "MKWVLA...", "top_k": 10}
 //	POST /batch    {"queries": [{...}, ...], "top_k": 10}
+//	POST /batch    {"fasta": ">q1\nMKWVLA...\n>q2\n...", "top_k": 10}
 //	GET  /healthz
 //
 // /search and /batch answer with SearchJSON (respectively a BatchJSON
@@ -26,6 +28,16 @@ import (
 // HealthJSON snapshot of database, roster, scheduler and cache state.
 // Disconnected clients abandon only their wait: the computation finishes
 // and its result stays in the cluster cache for the next asker.
+//
+// Queries encode under the database's alphabet (protein or DNA). /search
+// additionally accepts "format" ("json" default, or the text formats
+// "blast", "sam", "tsv" — the latter two imply align), "translate" (six-
+// frame translated search of a DNA query against a protein database) and
+// "matrix" (request-scoped substitution matrix text in the NCBI format;
+// rejected text answers 400 wrapping ErrBadMatrix). Translated and
+// custom-matrix searches bypass the micro-batching scheduler and cache,
+// since their results are not interchangeable with the cluster-wide
+// configuration's.
 
 // maxRequestBytes bounds an HTTP request body: the longest real protein is
 // ~36k residues, so even a generous batch fits comfortably.
@@ -67,6 +79,9 @@ type HitJSON struct {
 	Index int    `json:"index"`
 	ID    string `json:"id"`
 	Score int    `json:"score"`
+	// Frame is the winning reading frame (+1..+3, -1..-3) of a translated
+	// search; absent for direct searches.
+	Frame int `json:"frame,omitempty"`
 	// Alignment is the traceback detail; present only when the request
 	// set align.
 	Alignment *AlignmentJSON `json:"alignment,omitempty"`
@@ -83,6 +98,11 @@ type AlignmentJSON struct {
 	QueryEnd     int `json:"query_end"`
 	SubjectStart int `json:"subject_start"`
 	SubjectEnd   int `json:"subject_end"`
+	// QueryDNAStart/QueryDNAEnd delimit, for translated searches, the
+	// half-open nucleotide range of the DNA query (forward strand) the
+	// aligned frame segment came from; absent for direct searches.
+	QueryDNAStart int `json:"query_dna_start,omitempty"`
+	QueryDNAEnd   int `json:"query_dna_end,omitempty"`
 	// CIGAR is the alignment path ("12M2D5M"); Identities counts
 	// exactly-matching columns out of Columns total.
 	CIGAR      string `json:"cigar"`
@@ -224,8 +244,9 @@ func reportFor(topK int, align, evalue bool) (ReportOptions, int, error) {
 	return ReportOptions{Alignments: align, EValues: evalue, TopK: topK}, topK, nil
 }
 
-// toQuery validates one request query.
-func toQuery(q QueryJSON, pos string) (Sequence, error) {
+// toQuery validates one request query, encoding it under the named
+// alphabet ("dna" or protein otherwise).
+func toQuery(q QueryJSON, pos, alpha string) (Sequence, error) {
 	if q.Residues == "" {
 		return Sequence{}, fmt.Errorf("%s: empty residues", pos)
 	}
@@ -235,6 +256,9 @@ func toQuery(q QueryJSON, pos string) (Sequence, error) {
 	id := q.ID
 	if id == "" {
 		id = "query"
+	}
+	if alpha == "dna" {
+		return NewDNASequence(id, q.Residues), nil
 	}
 	return NewSequence(id, q.Residues), nil
 }
@@ -262,17 +286,19 @@ func toSearchJSON(id string, res *ClusterResult, topK int) SearchJSON {
 	}
 	for i := 0; i < n; i++ {
 		h := res.Hits[i]
-		hj := HitJSON{Index: h.Index, ID: h.ID, Score: h.Score}
+		hj := HitJSON{Index: h.Index, ID: h.ID, Score: h.Score, Frame: h.Frame}
 		if h.Alignment != nil {
 			a := h.Alignment
 			hj.Alignment = &AlignmentJSON{
-				QueryStart:   a.QueryStart,
-				QueryEnd:     a.QueryEnd,
-				SubjectStart: a.SubjectStart,
-				SubjectEnd:   a.SubjectEnd,
-				CIGAR:        a.CIGAR,
-				Identities:   a.Identities,
-				Columns:      a.Columns,
+				QueryStart:    a.QueryStart,
+				QueryEnd:      a.QueryEnd,
+				SubjectStart:  a.SubjectStart,
+				SubjectEnd:    a.SubjectEnd,
+				QueryDNAStart: a.QueryDNAStart,
+				QueryDNAEnd:   a.QueryDNAEnd,
+				CIGAR:         a.CIGAR,
+				Identities:    a.Identities,
+				Columns:       a.Columns,
 			}
 		}
 		if h.Significance != nil {
@@ -286,12 +312,19 @@ func toSearchJSON(id string, res *ClusterResult, topK int) SearchJSON {
 
 // searchRequest is the /search body: one query plus response shaping.
 // align enables the traceback phase (coordinates, CIGAR, identities per
-// hit); evalue the significance fit (bit score and E-value per hit).
+// hit); evalue the significance fit (bit score and E-value per hit);
+// format selects the response rendering ("json" default, or the text
+// formats "blast", "sam", "tsv", which imply align); translate runs the
+// six-frame translated search; matrix supplies request-scoped
+// substitution-matrix text.
 type searchRequest struct {
 	QueryJSON
-	TopK   int  `json:"top_k"`
-	Align  bool `json:"align"`
-	EValue bool `json:"evalue"`
+	TopK      int    `json:"top_k"`
+	Align     bool   `json:"align"`
+	EValue    bool   `json:"evalue"`
+	Format    string `json:"format"`
+	Translate bool   `json:"translate"`
+	Matrix    string `json:"matrix"`
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -304,28 +337,74 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Errorf("invalid request: %w", err))
 		return
 	}
-	q, err := toQuery(req.QueryJSON, "query")
+	format := req.Format
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "blast", "sam", "tsv":
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (have json, blast, sam, tsv)", req.Format))
+		return
+	}
+	// A translated query is DNA whatever the database holds; otherwise the
+	// query encodes under the database's own alphabet.
+	alpha := s.c.db.Alphabet()
+	if req.Translate {
+		alpha = "dna"
+	}
+	q, err := toQuery(req.QueryJSON, "query", alpha)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	rep, topK, err := reportFor(req.TopK, req.Align, req.EValue)
+	// The SAM and TSV renderings only carry hits with tracebacks.
+	align := req.Align || format == "sam" || format == "tsv"
+	rep, topK, err := reportFor(req.TopK, align, req.EValue)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.c.SearchScheduled(r.Context(), q, rep)
+	var res *ClusterResult
+	switch {
+	case req.Translate && req.Matrix != "":
+		res, err = s.c.SearchTranslatedMatrix(q, req.Matrix, rep)
+	case req.Translate:
+		res, err = s.c.SearchTranslated(q, rep)
+	case req.Matrix != "":
+		res, err = s.c.SearchMatrix(q, req.Matrix, rep)
+	default:
+		res, err = s.c.SearchScheduled(r.Context(), q, rep)
+	}
 	if err != nil {
 		writeError(w, searchStatus(r, err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toSearchJSON(req.ID, res, topK))
+	if format == "json" {
+		writeJSON(w, http.StatusOK, toSearchJSON(req.ID, res, topK))
+		return
+	}
+	// A score-only result (cached, possibly shared) can carry more hits
+	// than this request's top_k: render a trimmed shallow copy.
+	if len(res.Hits) > topK {
+		trimmed := *res
+		trimmed.Hits = res.Hits[:topK]
+		res = &trimmed
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	// The client may be gone; nothing useful to do with the error.
+	_ = WriteFormat(w, format, q, s.c.db, res, 60)
 }
 
 // batchRequest is the /batch body: queries plus response shaping; align
-// and evalue apply to every query of the batch.
+// and evalue apply to every query of the batch. fasta supplies queries as
+// one multi-record FASTA document instead of (or in addition to) the
+// queries array; its records are appended after the explicit queries.
 type batchRequest struct {
 	Queries []QueryJSON `json:"queries"`
+	FASTA   string      `json:"fasta"`
 	TopK    int         `json:"top_k"`
 	Align   bool        `json:"align"`
 	EValue  bool        `json:"evalue"`
@@ -341,7 +420,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Errorf("invalid request: %w", err))
 		return
 	}
-	if len(req.Queries) == 0 {
+	if len(req.Queries) == 0 && req.FASTA == "" {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
@@ -356,9 +435,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, searchStatus(r, err), err)
 		return
 	}
+	alpha := s.c.db.Alphabet()
+	if req.FASTA != "" {
+		recs, ferr := fastaQueries(req.FASTA, alpha)
+		if ferr != nil {
+			writeError(w, http.StatusBadRequest, ferr)
+			return
+		}
+		req.Queries = append(req.Queries, recs...)
+	}
 	queries := make([]Sequence, len(req.Queries))
 	for i, qj := range req.Queries {
-		q, err := toQuery(qj, fmt.Sprintf("query %d", i))
+		q, err := toQuery(qj, fmt.Sprintf("query %d", i), alpha)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -398,6 +486,33 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// fastaQueries parses a /batch request's fasta field into per-record
+// queries under the database's alphabet. Records re-render to canonical
+// residue letters, so a FASTA batch shares cache entries with the same
+// queries submitted inline.
+func fastaQueries(text, alpha string) ([]QueryJSON, error) {
+	var (
+		seqs []Sequence
+		err  error
+	)
+	if alpha == "dna" {
+		seqs, err = ReadDNAFASTA(strings.NewReader(text))
+	} else {
+		seqs, err = ReadFASTA(strings.NewReader(text))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fasta: %w", err)
+	}
+	if len(seqs) == 0 {
+		return nil, errors.New("fasta: no records")
+	}
+	out := make([]QueryJSON, len(seqs))
+	for i, s := range seqs {
+		out[i] = QueryJSON{ID: s.ID(), Residues: s.String()}
+	}
+	return out, nil
+}
+
 // searchStatus maps a search failure to an HTTP status: a disconnected
 // or timed-out client gets a request-timeout code (unsendable when truly
 // gone, but meaningful under a deadline), a draining cluster the
@@ -413,6 +528,11 @@ func searchStatus(r *http.Request, err error) int {
 	}
 	if errors.Is(err, ErrNoSignificance) {
 		return http.StatusUnprocessableEntity
+	}
+	if errors.Is(err, ErrBadMatrix) {
+		// Rejected user-supplied matrix text (bad alphabet line, non-square
+		// table, scores outside the 8-bit ladder's range): a client error.
+		return http.StatusBadRequest
 	}
 	if errors.Is(err, ErrTooManyAlignments) {
 		// The request-level top_k is pre-validated, but a cluster-wide

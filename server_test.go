@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -329,4 +330,122 @@ func TestHTTPClientDisconnect(t *testing.T) {
 		t.Fatalf("status %d after disconnect: %s", resp.StatusCode, body)
 	}
 	_ = cl
+}
+
+// TestHTTPMatrixErrors pins the user-matrix contract: every way submitted
+// matrix text can be rejected maps to 400 with the sentinel family visible
+// at the library layer (errors.Is on ErrBadMatrix and the specific mode).
+func TestHTTPMatrixErrors(t *testing.T) {
+	ts, cl, _ := testServer(t)
+	cases := []struct {
+		name   string
+		matrix string
+		want   error
+	}{
+		{"bad-alphabet-header", "A 1 C\nA 4 0 0\n", ErrBadMatrixAlphabet},
+		{"bad-alphabet-row", "A C\n1 4 0\n", ErrBadMatrixAlphabet},
+		{"not-square", "A C\nA 4\n", ErrMatrixNotSquare},
+		{"asymmetric", "A C\nA 4 1\nC 2 4\n", ErrMatrixNotSquare},
+		{"empty", "# only a comment\n", ErrMatrixNotSquare},
+		{"score-overflow", "A\nA 999\n", ErrMatrixScoreRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/search", map[string]any{
+				"residues": "MKWVLA", "matrix": tc.matrix,
+			})
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (%s), want 400", resp.StatusCode, body)
+			}
+			// The same text through the library surfaces the typed sentinels.
+			_, err := cl.SearchMatrix(NewSequence("q", "MKWVLA"), tc.matrix)
+			if !errors.Is(err, ErrBadMatrix) {
+				t.Fatalf("SearchMatrix error %v does not wrap ErrBadMatrix", err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("SearchMatrix error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// A well-formed user matrix flows through /search and changes scoring: an
+// identity-only matrix collapses every alignment to exact residue runs.
+func TestHTTPMatrixCustom(t *testing.T) {
+	ts, _, _ := testServer(t)
+	matrix := "# match-only\nM K W V L A\nM 9 -9 -9 -9 -9 -9\nK -9 9 -9 -9 -9 -9\nW -9 -9 9 -9 -9 -9\nV -9 -9 -9 9 -9 -9\nL -9 -9 -9 -9 9 -9\nA -9 -9 -9 -9 -9 9\n"
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{
+		"id": "q", "residues": "MKWVLA", "matrix": matrix, "top_k": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SearchJSON
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	// 6 exact residues x 9 under the custom matrix; BLOSUM62 scores this
+	// pairing 34, so the request-scoped matrix demonstrably applied.
+	if len(sr.Hits) != 1 || sr.Hits[0].Score != 54 {
+		t.Fatalf("custom-matrix top hit %+v, want score 54", sr.Hits)
+	}
+}
+
+// TestHTTPFormats pins the format field: blast/sam/tsv return text/plain
+// renderings, unknown formats are client errors, and json stays default.
+func TestHTTPFormats(t *testing.T) {
+	ts, _, _ := testServer(t)
+	for _, format := range []string{"blast", "sam", "tsv"} {
+		resp, body := postJSON(t, ts.URL+"/search", map[string]any{
+			"id": "q1", "residues": "MKWVLA", "top_k": 2, "format": format,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("format=%s: status %d: %s", format, resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("format=%s: content type %q", format, ct)
+		}
+		if json.Valid(body) {
+			t.Fatalf("format=%s returned JSON: %s", format, body)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/search", map[string]any{
+		"residues": "MKWVLA", "format": "xml",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPBatchFASTA pins the fasta body field on /batch: records parse
+// under the database alphabet, mix with explicit queries, and order is
+// queries-then-fasta.
+func TestHTTPBatchFASTA(t *testing.T) {
+	ts, _, _ := testServer(t)
+	fasta := ">f1 first\nMKWVLA\n>f2 second\nCCQEGH\n"
+	resp, body := postJSON(t, ts.URL+"/batch", map[string]any{
+		"queries": []map[string]any{{"id": "e1", "residues": "WYVKMF"}},
+		"fasta":   fasta,
+		"top_k":   1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchJSON
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(br.Results))
+	}
+	for i, want := range []string{"e1", "f1", "f2"} {
+		if br.Results[i].ID != want {
+			t.Fatalf("result %d is %q, want %q", i, br.Results[i].ID, want)
+		}
+	}
+	// Malformed FASTA is a client error.
+	resp, body = postJSON(t, ts.URL+"/batch", map[string]any{"fasta": "no header\n"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad fasta: status %d (%s), want 400", resp.StatusCode, body)
+	}
 }

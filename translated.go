@@ -1,0 +1,209 @@
+package heterosw
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"heterosw/internal/alphabet"
+	"heterosw/internal/core"
+	"heterosw/internal/sequence"
+	"heterosw/internal/translate"
+)
+
+// SearchTranslated performs a blastx-style translated search: a DNA query
+// is translated in all six reading frames, each frame is searched against
+// the cluster's protein database with the unmodified protein kernels (one
+// batch, so shard splits and lane packings amortise across the frames),
+// and the per-frame score lists are merged by each subject's best frame.
+// Hits carry the winning frame (Hit.Frame) and, when ReportOptions
+// requests alignments, the nucleotide coordinates of the aligned segment
+// on the original query (HitAlignment.QueryDNAStart/End).
+//
+// The query must be a DNA sequence (NewDNASequence, ReadDNAFASTA) and the
+// database a protein one.
+func (c *Cluster) SearchTranslated(query Sequence, report ...ReportOptions) (*ClusterResult, error) {
+	return c.searchTranslated(query, c.dopt, report)
+}
+
+// SearchTranslatedMatrix is SearchTranslated with a request-scoped
+// substitution matrix, parsed from NCBI-format text against the protein
+// alphabet the frame queries score under (see SearchMatrix). Parse
+// failures wrap ErrBadMatrix.
+func (c *Cluster) SearchTranslatedMatrix(query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
+	dopt, err := c.doptWithMatrix(matrixText)
+	if err != nil {
+		return nil, err
+	}
+	return c.searchTranslated(query, dopt, report)
+}
+
+func (c *Cluster) searchTranslated(query Sequence, dopt core.DispatchOptions, report []ReportOptions) (*ClusterResult, error) {
+	rep, err := oneReport(report)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.checkReport(rep); err != nil {
+		return nil, err
+	}
+	if query.impl == nil {
+		return nil, fmt.Errorf("heterosw: zero-value query")
+	}
+	if query.impl.Alphabet() != alphabet.DNA {
+		return nil, fmt.Errorf("heterosw: translated search needs a DNA query, got %s", query.Alphabet())
+	}
+	if c.db.db.Alphabet() != alphabet.Protein {
+		return nil, fmt.Errorf("heterosw: translated search needs a protein database, got %s", c.db.Alphabet())
+	}
+	frames := translate.Frames(query.impl.Residues)
+	impls := make([]*sequence.Sequence, 0, len(frames))
+	used := make([]*translate.Frame, 0, len(frames))
+	for _, f := range frames {
+		if len(f.Protein) == 0 {
+			continue
+		}
+		impls = append(impls, &sequence.Sequence{
+			ID:       fmt.Sprintf("%s|frame%+d", query.impl.ID, f.Index),
+			Desc:     query.impl.Desc,
+			Residues: f.Protein,
+		})
+		used = append(used, f)
+	}
+	if len(impls) == 0 {
+		return nil, fmt.Errorf("heterosw: query %s is too short to translate (%d nt)",
+			query.ID(), query.Len())
+	}
+	ctx := context.Background()
+	res, err := c.disp.SearchBatchContext(ctx, impls, dopt)
+	if err != nil {
+		return nil, err
+	}
+	merged, frameOf := c.mergeFrames(res, used)
+	if err := c.decorateTranslated(ctx, impls, used, frameOf, merged, rep, dopt); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// mergeFrames folds the per-frame results into one: each subject keeps its
+// best frame score (ties to the earlier frame, in +1..+3, -1..-3 order),
+// cost accounting sums over frames, and the hit list is rebuilt from the
+// merged scores with the cluster-wide truncation. The second return value
+// maps each database index to the index (into frames) of its winning
+// frame.
+func (c *Cluster) mergeFrames(res []*core.ClusterResult, frames []*translate.Frame) (*ClusterResult, []int) {
+	merged := c.wrap(res[0])
+	frameOf := make([]int, len(merged.Scores))
+	for i := 1; i < len(res); i++ {
+		w := c.wrap(res[i])
+		for s, v := range w.Scores {
+			if v > merged.Scores[s] {
+				merged.Scores[s] = v
+				frameOf[s] = i
+			}
+		}
+		merged.Cells += w.Cells
+		merged.SimSeconds += w.SimSeconds
+		merged.WallSeconds += w.WallSeconds
+		merged.Overflows += w.Overflows
+		merged.Overflows8 += w.Overflows8
+		for b := range merged.Backends {
+			merged.Backends[b].Chunks += w.Backends[b].Chunks
+			merged.Backends[b].SimSeconds += w.Backends[b].SimSeconds
+		}
+	}
+	if merged.SimSeconds > 0 {
+		merged.SimGCUPS = float64(merged.Cells) / merged.SimSeconds / 1e9
+	}
+	if merged.WallSeconds > 0 {
+		merged.WallGCUPS = float64(merged.Cells) / merged.WallSeconds / 1e9
+	}
+	merged.Hits = c.translatedHits(merged.Scores, frames, frameOf)
+	if k := c.dopt.Search.TopK; k > 0 && k < len(merged.Hits) {
+		merged.Hits = merged.Hits[:k]
+	}
+	return merged, frameOf
+}
+
+// translatedHits builds the full descending hit list over merged scores,
+// stamping each hit with its winning frame. The stable tie order matches
+// hitsFromScores (database order).
+func (c *Cluster) translatedHits(scores []int, frames []*translate.Frame, frameOf []int) []Hit {
+	hits := make([]Hit, len(scores))
+	for i, s := range scores {
+		hits[i] = Hit{Index: i, ID: c.db.Seq(i).ID(), Score: s, Frame: frames[frameOf[i]].Index}
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
+	return hits
+}
+
+// decorateTranslated mirrors decorate for a merged translated result: the
+// same trim and significance rules, with the traceback phase fanned out
+// per winning frame so every hit is re-aligned against the frame that
+// produced its score, then mapped back to nucleotide coordinates.
+func (c *Cluster) decorateTranslated(ctx context.Context, impls []*sequence.Sequence,
+	frames []*translate.Frame, frameOf []int, res *ClusterResult, rep ReportOptions,
+	dopt core.DispatchOptions) error {
+	if rep == (ReportOptions{}) {
+		return nil
+	}
+	if rep.TopK > 0 && rep.TopK > len(res.Hits) && len(res.Hits) < len(res.Scores) {
+		res.Hits = c.translatedHits(res.Scores, frames, frameOf)
+	}
+	if rep.TopK > 0 && rep.TopK < len(res.Hits) {
+		res.Hits = res.Hits[:rep.TopK]
+	} else if (rep.Alignments || rep.EValues) && rep.TopK <= 0 &&
+		c.dopt.Search.TopK <= 0 && len(res.Hits) > defaultReportHits {
+		res.Hits = res.Hits[:defaultReportHits]
+	}
+	if rep.EValues {
+		sig, err := res.FitSignificance(rep.EValueTrim)
+		if err != nil {
+			return fmt.Errorf("%w (%v)", ErrNoSignificance, err)
+		}
+		res.Significance = sig
+		for i := range res.Hits {
+			h := &res.Hits[i]
+			h.Significance = &HitSignificance{
+				BitScore: sig.BitScore(h.Score),
+				EValue:   sig.EValue(h.Score),
+			}
+		}
+	}
+	if rep.Alignments {
+		// Group the reported hits by winning frame; each group tracebacks
+		// against its own frame query.
+		byFrame := make(map[int][]int, len(impls))
+		for i := range res.Hits {
+			fi := frameOf[res.Hits[i].Index]
+			byFrame[fi] = append(byFrame[fi], i)
+		}
+		for fi, hitIdx := range byFrame {
+			hits := make([]core.Hit, len(hitIdx))
+			for j, i := range hitIdx {
+				h := res.Hits[i]
+				hits[j] = core.Hit{SeqIndex: h.Index, ID: h.ID, Score: int32(h.Score)}
+			}
+			details, err := c.disp.AlignHits(ctx, impls[fi], hits, dopt)
+			if err != nil {
+				return err
+			}
+			for j := range details {
+				d := &details[j]
+				ds, de := frames[fi].DNARange(d.QueryStart, d.QueryEnd)
+				res.Hits[hitIdx[j]].Alignment = &HitAlignment{
+					QueryStart:    d.QueryStart,
+					QueryEnd:      d.QueryEnd,
+					SubjectStart:  d.SubjectStart,
+					SubjectEnd:    d.SubjectEnd,
+					QueryDNAStart: ds,
+					QueryDNAEnd:   de,
+					CIGAR:         d.CIGAR,
+					Identities:    d.Identities,
+					Columns:       d.Columns,
+				}
+			}
+		}
+	}
+	return nil
+}
