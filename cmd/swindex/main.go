@@ -9,18 +9,29 @@
 //
 //	swindex build db.fasta -o db.swdb [-unsorted]
 //	swindex info db.swdb
+//	swindex split db.swdb -n 4 [-dir shards/] [-prefix db]
 //
 // Every -db flag in this repository accepts the resulting .swdb wherever
 // it accepts FASTA; the formats are sniffed by magic.
+//
+// split cuts an index into n shard .swdb files (equal residue fractions,
+// dealt greedily in processing order so every shard inherits the parent's
+// length distribution) plus a manifest recording each shard's checksum
+// key and its mapping back into the parent. Distribute the shard files
+// across swserve -shards nodes and hand the manifest to a coordinator
+// (swserve -manifest -nodes); the checksum keys guarantee both sides are
+// talking about the same bytes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"heterosw/internal/remote"
 	"heterosw/internal/seqdb"
 	"heterosw/internal/seqdb/index"
 	"heterosw/internal/sequence"
@@ -35,10 +46,12 @@ func main() {
 		build(os.Args[2:])
 	case "info":
 		info(os.Args[2:])
+	case "split":
+		split(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		fatal(fmt.Errorf("unknown subcommand %q (have build, info)", os.Args[1]))
+		fatal(fmt.Errorf("unknown subcommand %q (have build, info, split)", os.Args[1]))
 	}
 }
 
@@ -131,10 +144,54 @@ func info(args []string) {
 	}
 }
 
+func split(args []string) {
+	fs := flag.NewFlagSet("swindex split", flag.ExitOnError)
+	n := fs.Int("n", 2, "number of shards")
+	dir := fs.String("dir", ".", "output directory for shard files and the manifest")
+	prefix := fs.String("prefix", "", "shard filename prefix (default: input basename)")
+	// Accept the documented `split db.swdb -n 4` shape: lift the leading
+	// positional before flag parsing, as build does.
+	var in string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		in = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	switch {
+	case in == "" && fs.NArg() == 1:
+		in = fs.Arg(0)
+	case in != "" && fs.NArg() == 0:
+	default:
+		fatal(fmt.Errorf("split needs exactly one input .swdb file"))
+	}
+	p := *prefix
+	if p == "" {
+		base := filepath.Base(in)
+		p = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	start := time.Now()
+	man, err := remote.SplitIndex(in, *n, *dir, p)
+	if err != nil {
+		fatal(err)
+	}
+	manPath := filepath.Join(*dir, p+".manifest.json")
+	if err := remote.WriteManifest(manPath, man); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("swindex: split %s (%d sequences, %d residues) into %d shards in %v\n",
+		in, man.Sequences, man.Residues, len(man.Shards), time.Since(start).Round(time.Millisecond))
+	for i, sh := range man.Shards {
+		fmt.Printf("swindex: shard %d: %s (%d sequences, %d residues, key %s)\n",
+			i, filepath.Join(*dir, sh.File), sh.Sequences, sh.Residues, sh.Key)
+	}
+	fmt.Printf("swindex: wrote manifest %s\n", manPath)
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   swindex build db.fasta -o db.swdb [-unsorted]
   swindex info db.swdb
+  swindex split db.swdb -n 4 [-dir shards/] [-prefix db]
 `)
 	os.Exit(2)
 }

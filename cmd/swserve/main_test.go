@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heterosw"
+)
+
+func testCluster(t *testing.T, opt heterosw.ClusterOptions) *heterosw.Cluster {
+	t.Helper()
+	db, _ := heterosw.SyntheticSwissProt(0.001, false)
+	cl, err := heterosw.NewCluster(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func startServer(t *testing.T, cl *heterosw.Cluster) (*http.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: heterosw.NewHTTPHandler(cl)}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String()
+}
+
+// TestShutdownUnderLoad pins the teardown ordering fix end to end: with
+// requests still blocked inside the scheduler when the drain window
+// expires, every in-flight client must receive a COMPLETE response —
+// a 200 result or the retryable 503 — never a torn connection, because
+// shutdownServer now tears down the scheduled paths first and then waits
+// out a flush window for the unblocked handlers' writes.
+func TestShutdownUnderLoad(t *testing.T) {
+	// A huge coalescing window clogs the scheduler deterministically:
+	// every request parks in the micro-batch window far longer than the
+	// drain, so teardown is guaranteed to find them in flight.
+	cl := testCluster(t, heterosw.ClusterOptions{
+		Devices:     []heterosw.DeviceKind{heterosw.DeviceXeon},
+		Dist:        "static",
+		BatchWindow: time.Hour,
+		MaxBatch:    1024,
+		CacheSize:   -1,
+	})
+	srv, base := startServer(t, cl)
+
+	const clients = 8
+	type reply struct {
+		status int
+		body   []byte
+		err    error
+	}
+	replies := make([]reply, clients)
+	var wg sync.WaitGroup
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"id":"q%d","residues":"MKWVTFISLLLLFSSAYSRGV%sARND"}`,
+				i, strings.Repeat("A", i+1))
+			resp, err := httpc.Post(base+"/search", "application/json", strings.NewReader(body))
+			if err != nil {
+				replies[i] = reply{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			replies[i] = reply{status: resp.StatusCode, body: b, err: err}
+		}(i)
+	}
+
+	// Let every request reach the scheduler before tearing down.
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.SchedulerStats().Submitted < clients {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the scheduler")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := shutdownServer(srv, 50*time.Millisecond, cl.Close, cl.CloseNow); err != nil {
+		t.Fatalf("shutdownServer: %v", err)
+	}
+	wg.Wait()
+
+	var got503 int
+	for i, r := range replies {
+		if r.err != nil {
+			t.Errorf("client %d: torn response: %v", i, r.err)
+			continue
+		}
+		if r.status != http.StatusOK && r.status != http.StatusServiceUnavailable {
+			t.Errorf("client %d: status %d, want 200 or 503 (body %s)", i, r.status, r.body)
+		}
+		if !json.Valid(r.body) {
+			t.Errorf("client %d: incomplete JSON body: %q", i, r.body)
+		}
+		if r.status == http.StatusServiceUnavailable {
+			got503++
+		}
+	}
+	if got503 == 0 {
+		t.Error("no client saw the retryable 503; the drain window never expired under load")
+	}
+}
+
+// TestShutdownCleanDrain pins the other half of the fix: when every
+// request finishes inside the drain window, teardown must NOT hard-abort
+// the scheduled paths (the old code called CloseNow even after a clean
+// drain) — the graceful close path runs and shutdownServer reports nil.
+func TestShutdownCleanDrain(t *testing.T) {
+	closedNow := false
+	cl := testCluster(t, heterosw.ClusterOptions{
+		Devices:     []heterosw.DeviceKind{heterosw.DeviceXeon},
+		Dist:        "static",
+		BatchWindow: -1, // execute immediately
+	})
+	srv, base := startServer(t, cl)
+
+	resp, err := http.Post(base+"/search", "application/json",
+		strings.NewReader(`{"id":"q","residues":"MKWVTFISLLLLFSSAYSRGV"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up search: status %d", resp.StatusCode)
+	}
+
+	err = shutdownServer(srv, 10*time.Second, cl.Close, func() { closedNow = true; cl.CloseNow() })
+	if err != nil {
+		t.Fatalf("shutdownServer: %v", err)
+	}
+	if closedNow {
+		t.Fatal("clean drain must not hard-abort the scheduled paths")
+	}
+}

@@ -1,0 +1,201 @@
+package heterosw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"heterosw/internal/core"
+	"heterosw/internal/device"
+	"heterosw/internal/qsched"
+	"heterosw/internal/remote"
+	"heterosw/internal/seqdb"
+)
+
+// DeviceRemote is the roster label of a remote shard node in a
+// distributed cluster's reports. It is not constructible through
+// ClusterOptions.Devices — remote backends come from NewDistributedCluster.
+const DeviceRemote = DeviceKind("remote")
+
+// DistributedOptions configures a coordinator over remote shard nodes.
+type DistributedOptions struct {
+	// Options carries the kernel configuration used for the coordinator's
+	// own reporting (significance fit parameters, TopK, matrix for the
+	// local traceback fallback). The remote nodes execute shards under
+	// their OWN configured options — the coordinator ships queries, not
+	// search parameters — so operators must configure nodes and
+	// coordinator identically for the merged result to be meaningful.
+	Options
+
+	// MaxInFlight, BatchWindow, MaxBatch and CacheSize tune the
+	// coordinator's serving scheduler and result cache exactly as the
+	// same-named ClusterOptions fields do.
+	MaxInFlight int
+	BatchWindow time.Duration
+	MaxBatch    int
+	CacheSize   int
+
+	// Timeout bounds each node request attempt; Retries and Backoff shape
+	// the retry policy over retryable (503/transport) failures; HedgeDelay
+	// launches a duplicate request to the next replica of a slow shard.
+	// See remote.Options for defaults.
+	Timeout    time.Duration
+	Retries    int
+	Backoff    time.Duration
+	HedgeDelay time.Duration
+	// HTTPClient optionally supplies the underlying HTTP client.
+	HTTPClient *http.Client
+}
+
+// NewDistributedCluster builds a coordinator: a Cluster whose backends
+// are remote shard nodes instead of local device models. The manifest
+// (written by swindex split) names the shard cut of the parent database;
+// nodes are probed for which shard keys they serve, and each shard's
+// owners become the replica set its requests route (and hedge) across.
+//
+// db must be the parent .swdb index the manifest was cut from — the
+// checksum keys must agree — so the coordinator can reconstruct each
+// shard's exact sequence membership locally (seqdb.Select over the
+// manifest's parent-index lists). Scores merge into parent order, the
+// hit list and the Gumbel significance fit run over the union score
+// distribution, and every report is byte-identical to a single-node
+// search of the unsplit database under the same options.
+//
+// Every scheduled entry point works unchanged: SearchScheduled and the
+// HTTP front end coalesce, dedup and cache exactly as on a local
+// cluster. Aligned reports fan tracebacks out to the nodes owning each
+// hit's shard.
+func NewDistributedCluster(db *Database, manifestPath string, nodes []string, opt DistributedOptions) (*Cluster, error) {
+	if db == nil {
+		return nil, fmt.Errorf("heterosw: nil database")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("heterosw: no nodes")
+	}
+	man, err := remote.ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	key := db.Key()
+	if key == "" {
+		return nil, fmt.Errorf("heterosw: the coordinator database needs a durable key (open the parent .swdb index, not FASTA)")
+	}
+	if key != man.Parent {
+		return nil, fmt.Errorf("heterosw: database key %s does not match the manifest parent %s", key, man.Parent)
+	}
+	if a := db.Alphabet(); a != man.Alphabet {
+		return nil, fmt.Errorf("heterosw: database alphabet %s does not match the manifest alphabet %s", a, man.Alphabet)
+	}
+
+	client := remote.NewClient(remote.Options{
+		HTTP:       opt.HTTPClient,
+		Timeout:    opt.Timeout,
+		Retries:    opt.Retries,
+		Backoff:    opt.Backoff,
+		HedgeDelay: opt.HedgeDelay,
+	})
+
+	// Probe every node for the shard keys it serves. Individual probe
+	// failures are tolerated — a node may be restarting, and replicas
+	// exist exactly for this — but a shard nobody owns is fatal: the
+	// merged result would silently miss its sequences.
+	owners := make(map[string][]string)
+	var probeErrs []error
+	for _, node := range nodes {
+		resp, err := client.Shards(context.Background(), node)
+		if err != nil {
+			probeErrs = append(probeErrs, fmt.Errorf("%s: %w", node, err))
+			continue
+		}
+		for _, sh := range resp.Shards {
+			owners[sh.Key] = append(owners[sh.Key], node)
+		}
+	}
+	backends := make([]core.Backend, len(man.Shards))
+	shardDBs := make([]*seqdb.Database, len(man.Shards))
+	shardIdx := make([][]int, len(man.Shards))
+	kinds := make([]DeviceKind, len(man.Shards))
+	for i, sh := range man.Shards {
+		urls := owners[sh.Key]
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("heterosw: no node serves shard %d (%s)%s", i, sh.Key, probeSuffix(probeErrs))
+		}
+		sdb, err := db.db.Select(sh.ParentIndex, sh.Key)
+		if err != nil {
+			return nil, fmt.Errorf("heterosw: shard %d (%s): %w", i, sh.Key, err)
+		}
+		if sdb.Residues() != sh.Residues {
+			return nil, fmt.Errorf("heterosw: shard %d (%s) selects %d residues, manifest declares %d",
+				i, sh.Key, sdb.Residues(), sh.Residues)
+		}
+		// device.Xeon is a planning placeholder only: under a fixed shard
+		// assignment the cut is the plan, so the model is never consulted.
+		backends[i] = remote.NewBackend(fmt.Sprintf("remote#%d", i), client, urls, device.Xeon())
+		shardDBs[i] = sdb
+		shardIdx[i] = sh.ParentIndex
+		kinds[i] = DeviceRemote
+	}
+
+	search, err := opt.Options.toCore(db.db.Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	disp, err := core.NewDispatcherShards(db.db, backends, shardDBs, shardIdx)
+	if err != nil {
+		return nil, err
+	}
+	cacheSize := opt.CacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultCacheSize(db.Len())
+	}
+	c := &Cluster{
+		db:    db,
+		disp:  disp,
+		kinds: kinds,
+		dopt: core.DispatchOptions{
+			Search: search,
+			Dist:   core.DistStatic,
+		},
+		schedOpt: qsched.Options{
+			MaxBatch:    opt.MaxBatch,
+			Window:      opt.BatchWindow,
+			MaxInFlight: opt.MaxInFlight,
+		},
+		cache: qsched.NewCache[*ClusterResult](cacheSize),
+	}
+	c.keyBase = fmt.Sprintf("%v|%v|%d|%+v|", c.dopt.Dist, c.dopt.Shares, c.dopt.ChunkResidues, c.dopt.Search)
+	return c, nil
+}
+
+// probeSuffix folds node probe failures into a shard-ownership error, so
+// "no node serves shard X" explains itself when the real problem is that
+// the nodes were unreachable.
+func probeSuffix(probeErrs []error) string {
+	if len(probeErrs) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("; %d node probe(s) failed: %v", len(probeErrs), errors.Join(probeErrs...))
+}
+
+// SplitIndexFile cuts a parent .swdb index into n shard .swdb files under
+// dir and writes the manifest describing the cut (swindex split wraps
+// exactly this). prefix names the shard files (prefix-00.swdb, ...); ""
+// derives it from the parent filename. Returns the manifest path.
+func SplitIndexFile(parentPath string, n int, dir, prefix string) (string, error) {
+	if prefix == "" {
+		base := filepath.Base(parentPath)
+		prefix = base[:len(base)-len(filepath.Ext(base))]
+	}
+	man, err := remote.SplitIndex(parentPath, n, dir, prefix)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, prefix+".manifest.json")
+	if err := remote.WriteManifest(path, man); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -62,7 +62,18 @@
 //     NCBI textual form (Options.MatrixText, Cluster.SearchMatrix, the
 //     ErrBadMatrix error family), and SAM 1.6 / BLAST tabular output of
 //     aligned results (WriteFormat, swsearch -outfmt, the format field
-//     on POST /search).
+//     on POST /search);
+//   - distributed multi-node serving over .swdb shards: swindex split
+//     cuts a parent index into shard indexes plus a manifest,
+//     NewShardServer serves the shard execution protocol on each node,
+//     and NewDistributedCluster mounts the shards as remote backends on
+//     an ordinary *Cluster — scores merge back into parent order and
+//     E-values fit over the union distribution, so results are
+//     byte-identical to a single-node search of the unsplit database,
+//     with per-attempt timeouts, 503-only retries with exponential
+//     backoff across replicas, and hedged requests for tail latency —
+//     see NewDistributedCluster, DistributedOptions, NewShardServer and
+//     SplitIndexFile.
 //
 // # The persistent database index
 //
@@ -172,13 +183,15 @@
 //
 // # Tools
 //
-// The cmd/swindex tool builds and inspects .swdb indexes (swindex build
-// db.fasta -o db.swdb); cmd/swbench regenerates every figure of the
+// The cmd/swindex tool builds, inspects and shards .swdb indexes
+// (swindex build db.fasta -o db.swdb; swindex split db.swdb -n 4);
+// cmd/swbench regenerates every figure of the
 // paper's evaluation and compares distribution strategies over arbitrary
 // rosters (-devices xeon,phi,phi -dist dynamic), planning over a real
 // database with -db; cmd/swserve fronts a cluster with the JSON search
 // API (/search, /batch, /healthz) — give it a .swdb and restarts are
-// near-instant — and examples/loadgen load-tests it; see DESIGN.md for
+// near-instant, a -shards node and a -manifest/-nodes coordinator make
+// it multi-node — and examples/loadgen load-tests it; see DESIGN.md for
 // the system inventory and EXPERIMENTS.md for the paper-versus-measured
 // comparison.
 package heterosw

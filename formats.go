@@ -64,11 +64,16 @@ func effectiveQuery(query Sequence, h Hit, frames *map[int]Sequence) Sequence {
 // WriteSAM renders the aligned hits of a search as SAM 1.6: one @SQ header
 // line per hit subject, then one alignment line per hit carrying a
 // traceback. The record's read is the search query (for translated
-// searches, the winning frame's protein, with FLAG 0x10 marking reverse
-// frames); unaligned query ends become soft clips, and the Smith-Waterman
-// score rides in the AS:i tag (with ZF:i carrying the frame for translated
-// hits). Hits without a traceback (no ReportOptions.Alignments, or beyond
-// the aligned top-K) are omitted.
+// searches, the winning frame's protein); unaligned query ends become
+// soft clips, and the Smith-Waterman score rides in the AS:i tag (with
+// ZF:i carrying the frame for translated hits). SEQ and CIGAR are always
+// emitted in alignment orientation — the frame protein is what actually
+// aligned, so FLAG stays 0 and the originating strand travels only in
+// ZF:i. (Setting FLAG 0x10 would assert that SEQ is the reverse
+// complement of the original read, which a frame protein is not: a
+// consumer un-reverse-complementing per the flag would corrupt the
+// record.) Hits without a traceback (no ReportOptions.Alignments, or
+// beyond the aligned top-K) are omitted.
 func WriteSAM(w io.Writer, query Sequence, db *Database, res *ClusterResult) error {
 	if query.impl == nil {
 		return fmt.Errorf("heterosw: zero-value query")
@@ -95,10 +100,6 @@ func WriteSAM(w io.Writer, query Sequence, db *Database, res *ClusterResult) err
 			continue
 		}
 		q := effectiveQuery(query, h, &frames)
-		flag := 0
-		if h.Frame < 0 {
-			flag = 0x10
-		}
 		qseq := q.String()
 		var cigar strings.Builder
 		if a.QueryStart > 0 {
@@ -108,8 +109,8 @@ func WriteSAM(w io.Writer, query Sequence, db *Database, res *ClusterResult) err
 		if tail := len(qseq) - a.QueryEnd; tail > 0 {
 			fmt.Fprintf(&cigar, "%dS", tail)
 		}
-		fmt.Fprintf(&sb, "%s\t%d\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tAS:i:%d",
-			sanitizeField(q.ID()), flag, sanitizeField(h.ID), a.SubjectStart+1,
+		fmt.Fprintf(&sb, "%s\t0\t%s\t%d\t255\t%s\t*\t0\t0\t%s\t*\tAS:i:%d",
+			sanitizeField(q.ID()), sanitizeField(h.ID), a.SubjectStart+1,
 			cigar.String(), qseq, h.Score)
 		if s := h.Significance; s != nil {
 			fmt.Fprintf(&sb, "\tZE:f:%.3g", s.EValue)

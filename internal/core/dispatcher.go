@@ -220,6 +220,16 @@ type Dispatcher struct {
 	db       *seqdb.Database
 	backends []Backend
 
+	// fixed pins the shard assignment (one shard per backend, in roster
+	// order) instead of deriving splits from shares — the distributed
+	// coordinator's mode, where backend i is the remote node owning shard
+	// i and the cut was made ahead of time by swindex split. owner maps
+	// each parent sequence index to its owning backend and shard-local
+	// index, for the traceback fan-out. Both are nil for ordinary
+	// dispatchers.
+	fixed *shardSet
+	owner []shardRef
+
 	mu         sync.Mutex
 	shards     map[string]*shardSet
 	chunks     map[chunkKey]*chunkSet
@@ -279,6 +289,58 @@ func NewDispatcher(db *seqdb.Database, backends []Backend) (*Dispatcher, error) 
 		autoShares: make(map[string][]float64),
 		totals:     totals,
 	}, nil
+}
+
+// shardRef locates one parent sequence within a fixed shard assignment.
+type shardRef struct {
+	backend int // roster index of the owning backend
+	local   int // caller index within that backend's shard
+}
+
+// NewDispatcherShards builds a dispatcher over a pre-cut shard assignment:
+// backend i permanently owns shardDBs[i], whose caller-order sequences map
+// back to the parent database through shardIdx[i]. This is the distributed
+// coordinator's construction — the shards were cut ahead of time (swindex
+// split) and each backend is a remote node that can only search the shard
+// it holds, so the dispatcher must never re-split. The shards must cover
+// the parent exactly: every parent index appears in exactly one shard.
+// Only the static distribution is valid over a fixed assignment.
+func NewDispatcherShards(db *seqdb.Database, backends []Backend, shardDBs []*seqdb.Database, shardIdx [][]int) (*Dispatcher, error) {
+	d, err := NewDispatcher(db, backends)
+	if err != nil {
+		return nil, err
+	}
+	if len(shardDBs) != len(backends) || len(shardIdx) != len(backends) {
+		return nil, fmt.Errorf("core: %d shards and %d index maps for %d backends",
+			len(shardDBs), len(shardIdx), len(backends))
+	}
+	owner := make([]shardRef, db.Len())
+	seen := make([]bool, db.Len())
+	covered := 0
+	for i, sdb := range shardDBs {
+		if sdb == nil {
+			return nil, fmt.Errorf("core: nil shard %d", i)
+		}
+		if sdb.Len() != len(shardIdx[i]) {
+			return nil, fmt.Errorf("core: shard %d holds %d sequences but maps %d parent indices",
+				i, sdb.Len(), len(shardIdx[i]))
+		}
+		for j, pi := range shardIdx[i] {
+			if pi < 0 || pi >= db.Len() || seen[pi] {
+				return nil, fmt.Errorf("core: shard %d maps parent index %d outside a one-to-one cover of [0,%d)",
+					i, pi, db.Len())
+			}
+			seen[pi] = true
+			covered++
+			owner[pi] = shardRef{backend: i, local: j}
+		}
+	}
+	if covered != db.Len() {
+		return nil, fmt.Errorf("core: shards cover %d of %d parent sequences", covered, db.Len())
+	}
+	d.fixed = &shardSet{dbs: shardDBs, idx: shardIdx}
+	d.owner = owner
+	return d, nil
 }
 
 // BackendTotals is one backend's cumulative accounting across every search
@@ -549,8 +611,16 @@ func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence
 		}
 	}
 	var search func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error)
-	switch opt.Dist {
-	case DistStatic:
+	switch {
+	case d.fixed != nil:
+		// A fixed shard assignment admits no re-splitting and no chunk
+		// queue: each backend can only ever search the shard it owns.
+		if opt.Dist != DistStatic {
+			return nil, fmt.Errorf("core: %v distribution over a fixed shard assignment (only static is valid)", opt.Dist)
+		}
+		set := d.fixed
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchStatic(q, opt, set) }
+	case opt.Dist == DistStatic:
 		meanLen := 0
 		for _, q := range queries {
 			meanLen += q.Len()
@@ -562,7 +632,7 @@ func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence
 		}
 		set := d.shardsFor(shares)
 		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchStatic(q, opt, set) }
-	case DistDynamic, DistGuided:
+	case opt.Dist == DistDynamic || opt.Dist == DistGuided:
 		set := d.chunksFor(opt)
 		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchDynamic(q, opt, set) }
 	default:
@@ -799,17 +869,25 @@ type Plan struct {
 func (d *Dispatcher) Plan(queryLen int, opt DispatchOptions) (*Plan, error) {
 	switch opt.Dist {
 	case DistStatic:
-		shares, err := d.resolveShares(queryLen, opt)
-		if err != nil {
-			return nil, err
+		var set *shardSet
+		if d.fixed != nil {
+			set = d.fixed
+		} else {
+			shares, err := d.resolveShares(queryLen, opt)
+			if err != nil {
+				return nil, err
+			}
+			set = d.shardsFor(shares)
 		}
-		set := d.shardsFor(shares)
 		parts := make([][]int, len(set.dbs))
 		for i, sdb := range set.dbs {
 			parts[i] = sdb.OrderLengths()
 		}
 		return planStaticLengths(parts, queryLen, d.backends, opt, d.db.Len()), nil
 	case DistDynamic, DistGuided:
+		if d.fixed != nil {
+			return nil, fmt.Errorf("core: %v distribution over a fixed shard assignment (only static is valid)", opt.Dist)
+		}
 		return d.planChunks(queryLen, opt, d.chunksFor(opt)), nil
 	}
 	return nil, fmt.Errorf("core: unknown distribution %v", opt.Dist)

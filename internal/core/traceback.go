@@ -8,6 +8,7 @@ import (
 
 	"heterosw/internal/alphabet"
 	"heterosw/internal/offload"
+	"heterosw/internal/seqdb"
 	"heterosw/internal/sequence"
 	"heterosw/internal/swalign"
 )
@@ -42,6 +43,17 @@ type AlignmentDetail struct {
 	Columns    int
 }
 
+// ShardAligner is the optional traceback capability of a Backend: given
+// the shard it owns (a fixed-assignment dispatcher's shardDBs[i]) and hits
+// whose SeqIndex values are shard-local caller indices, it returns one
+// AlignmentDetail per hit, in hits order, with shard-local SeqIndex. The
+// remote backend implements it by fanning the traceback out to the node
+// that holds the shard; backends without it fall back to the host-side
+// reference alignment over the parent database.
+type ShardAligner interface {
+	AlignShard(ctx context.Context, query *sequence.Sequence, shard *seqdb.Database, hits []Hit, opt SearchOptions) ([]AlignmentDetail, error)
+}
+
 // scoringFor derives the reference-alignment scoring from the search
 // options and the database alphabet, so phase two scores under exactly the
 // matrix and gap penalties phase one searched with.
@@ -71,6 +83,9 @@ func (d *Dispatcher) AlignHits(ctx context.Context, query *sequence.Sequence, hi
 	}
 	if len(hits) == 0 {
 		return nil, nil
+	}
+	if d.fixed != nil {
+		return d.alignHitsSharded(ctx, query, hits, opt)
 	}
 	sc := scoringFor(opt.Search, d.db.Alphabet())
 	details := make([]AlignmentDetail, len(hits))
@@ -140,6 +155,96 @@ func (d *Dispatcher) AlignHits(ctx context.Context, query *sequence.Sequence, hi
 	}
 	for _, sig := range sigs {
 		sig.Wait()
+	}
+	if err := firstErr(errs...); err != nil {
+		return nil, err
+	}
+	d.commitTracebacks(done)
+	return details, nil
+}
+
+// alignHitsSharded is the traceback phase over a fixed shard assignment:
+// each hit is routed to the backend owning its subject's shard, one
+// concurrent launch per backend with work. ShardAligner backends run the
+// tracebacks where the shard lives (the remote node); other backends fall
+// back to the host-side reference alignment, which needs only the parent
+// database. Results return in hits order with parent SeqIndex values, so
+// callers see exactly AlignHits' contract.
+func (d *Dispatcher) alignHitsSharded(ctx context.Context, query *sequence.Sequence, hits []Hit, opt DispatchOptions) ([]AlignmentDetail, error) {
+	per := make([][]int, len(d.backends)) // positions in hits, per owning backend
+	for pos, h := range hits {
+		if h.SeqIndex < 0 || h.SeqIndex >= d.db.Len() {
+			return nil, fmt.Errorf("core: hit %d references sequence %d outside the %d-sequence database", pos, h.SeqIndex, d.db.Len())
+		}
+		ref := d.owner[h.SeqIndex]
+		per[ref.backend] = append(per[ref.backend], pos)
+	}
+	details := make([]AlignmentDetail, len(hits))
+	errs := make([]error, len(d.backends))
+	done := make([]int64, len(d.backends))
+	sigs := make([]*offload.Signal, len(d.backends))
+	for i, b := range d.backends {
+		if len(per[i]) == 0 {
+			continue
+		}
+		i, b := i, b
+		sigs[i] = offload.Start(func() {
+			positions := per[i]
+			if al, ok := b.(ShardAligner); ok {
+				local := make([]Hit, len(positions))
+				for k, pos := range positions {
+					h := hits[pos]
+					local[k] = Hit{SeqIndex: d.owner[h.SeqIndex].local, ID: h.ID, Score: h.Score}
+				}
+				ds, err := al.AlignShard(ctx, query, d.fixed.dbs[i], local, opt.Search)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if len(ds) != len(positions) {
+					errs[i] = fmt.Errorf("core: backend %s returned %d alignments for %d hits", b.Name(), len(ds), len(positions))
+					return
+				}
+				for k, pos := range positions {
+					det := ds[k]
+					det.SeqIndex = hits[pos].SeqIndex // shard-local -> parent
+					details[pos] = det
+				}
+				done[i] += int64(len(positions))
+				return
+			}
+			sc := scoringFor(opt.Search, d.db.Alphabet())
+			for _, pos := range positions {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					return
+				}
+				h := hits[pos]
+				subject := d.db.Seq(h.SeqIndex)
+				al := swalign.Align(query.Residues, subject.Residues, sc)
+				if int32(al.Score) != h.Score {
+					errs[i] = fmt.Errorf("core: traceback score %d for %s disagrees with kernel score %d", al.Score, subject.ID, h.Score)
+					return
+				}
+				details[pos] = AlignmentDetail{
+					SeqIndex:     h.SeqIndex,
+					Score:        int32(al.Score),
+					QueryStart:   al.AStart,
+					QueryEnd:     al.AEnd,
+					SubjectStart: al.BStart,
+					SubjectEnd:   al.BEnd,
+					CIGAR:        al.CIGAR(),
+					Identities:   al.Identities,
+					Columns:      len(al.Ops),
+				}
+				done[i]++
+			}
+		})
+	}
+	for _, sig := range sigs {
+		if sig != nil {
+			sig.Wait()
+		}
 	}
 	if err := firstErr(errs...); err != nil {
 		return nil, err

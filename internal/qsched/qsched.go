@@ -36,6 +36,13 @@ import (
 // ErrClosed is returned by Submit and Do after Close or CloseNow.
 var ErrClosed = errors.New("qsched: scheduler closed")
 
+// errClosedNow resolves tickets stranded by CloseNow: queued jobs that
+// never ran and in-flight batches aborted by the scheduler context. It
+// wraps both ErrClosed (so serving layers classify the failure as a
+// retryable shutdown, never a generic server error) and context.Canceled
+// (the mechanism that aborted the work, which callers select on).
+var errClosedNow = fmt.Errorf("%w (%w)", ErrClosed, context.Canceled)
+
 // Options tunes a Scheduler. The zero value selects the defaults noted on
 // each field.
 type Options struct {
@@ -260,7 +267,7 @@ func (s *Scheduler[Q, R]) CloseNow() {
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
-	s.failQueued(context.Canceled)
+	s.failQueued(errClosedNow)
 }
 
 // failQueued resolves every queued (not yet dispatched) job with err.
@@ -295,7 +302,7 @@ func (s *Scheduler[Q, R]) collect() {
 			select {
 			case <-time.After(s.opt.Window):
 			case <-s.ctx.Done():
-				s.failQueued(s.ctx.Err())
+				s.failQueued(errClosedNow)
 				s.mu.Lock()
 				s.collecting = false
 				s.mu.Unlock()
@@ -323,7 +330,7 @@ func (s *Scheduler[Q, R]) collect() {
 		select {
 		case s.slots <- struct{}{}:
 		case <-s.ctx.Done():
-			err := s.ctx.Err()
+			err := errClosedNow
 			var zero R
 			for _, j := range batch {
 				s.resolve(j, zero, err, false)
@@ -366,6 +373,12 @@ func (s *Scheduler[Q, R]) runBatch(batch []*job[Q, R]) {
 			}
 		}
 		return
+	}
+	if err != nil && s.ctx.Err() != nil {
+		// The batch died because CloseNow cancelled the scheduler context,
+		// not on its own merits: resolve with the shutdown error so waiters
+		// see a retryable closed scheduler rather than a bare cancellation.
+		err = errClosedNow
 	}
 	var zero R
 	for i, j := range batch {

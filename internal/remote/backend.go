@@ -1,0 +1,130 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+
+	"heterosw/internal/alphabet"
+	"heterosw/internal/core"
+	"heterosw/internal/device"
+	"heterosw/internal/seqdb"
+	"heterosw/internal/sequence"
+)
+
+// Backend adapts a remote swserve node to core.Backend, so the dispatcher
+// drives it exactly like a local device backend: Search scores the shard
+// it is handed (always its own fixed shard under a sharded dispatcher)
+// and AlignShard fans tracebacks out to the node holding the shard bytes.
+type Backend struct {
+	name   string
+	client *Client
+	urls   []string
+	model  *device.Model
+}
+
+// NewBackend builds a backend over one shard's replica URLs. model is the
+// device model the planner should assume for the remote node; it has no
+// effect under a fixed shard assignment (the cut is the plan) but keeps
+// the Backend contract total.
+func NewBackend(name string, client *Client, urls []string, model *device.Model) *Backend {
+	return &Backend{name: name, client: client, urls: urls, model: model}
+}
+
+// Name implements core.Backend.
+func (b *Backend) Name() string { return b.name }
+
+// Model implements core.Backend.
+func (b *Backend) Model() *device.Model { return b.model }
+
+// Threads implements core.Backend. The remote node's parallelism is its
+// own configuration; the coordinator reports what the node answered per
+// search, so the static capability is 0.
+func (b *Backend) Threads() int { return 0 }
+
+// URLs returns the replica URLs this backend routes to.
+func (b *Backend) URLs() []string { return b.urls }
+
+// residueBytes copies encoded residues into wire bytes. alphabet.Code is
+// a uint8, so this is a widening-free copy, not a re-encode — the node
+// rebuilds the exact residue slice and its caches dedup identically.
+func residueBytes(codes []alphabet.Code) []byte {
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = byte(c)
+	}
+	return out
+}
+
+// Search implements core.Backend: one score-only shard execution on the
+// remote node. The node runs the search under its own configured kernel
+// options — the coordinator ships the query, not the search parameters —
+// so operators must configure nodes and coordinator identically (see the
+// README's distributed serving contract).
+func (b *Backend) Search(db *seqdb.Database, query *sequence.Sequence, opt core.SearchOptions) (*core.Result, error) {
+	// No caller context reaches core.Backend (local backends are equally
+	// uncancellable mid-chunk); per-attempt timeouts bound the call.
+	resp, err := b.client.ShardSearch(context.Background(), b.urls, &ShardSearchRequest{
+		Shard: db.Key(),
+		ID:    query.ID,
+		Codes: residueBytes(query.Residues),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote: backend %s: %w", b.name, err)
+	}
+	if len(resp.Scores) != db.Len() {
+		return nil, fmt.Errorf("remote: backend %s answered %d scores for the %d-sequence shard %s",
+			b.name, len(resp.Scores), db.Len(), db.Key())
+	}
+	r := &core.Result{
+		Scores:      resp.Scores,
+		Threads:     resp.Threads,
+		SimSeconds:  resp.SimSeconds,
+		WallSeconds: resp.WallSeconds,
+	}
+	r.Stats.Cells = resp.Cells
+	r.Stats.Overflows = resp.Overflows
+	r.Stats.Overflows8 = resp.Overflows8
+	return r, nil
+}
+
+// AlignShard implements core.ShardAligner: tracebacks run on the node
+// that holds the shard, and come back as shard-local details the
+// dispatcher remaps to parent indices.
+func (b *Backend) AlignShard(ctx context.Context, query *sequence.Sequence, shard *seqdb.Database, hits []core.Hit, opt core.SearchOptions) ([]core.AlignmentDetail, error) {
+	req := &ShardAlignRequest{
+		Shard:   shard.Key(),
+		ID:      query.ID,
+		Codes:   residueBytes(query.Residues),
+		Indices: make([]int, len(hits)),
+		Scores:  make([]int32, len(hits)),
+	}
+	for i, h := range hits {
+		req.Indices[i] = h.SeqIndex
+		req.Scores[i] = h.Score
+	}
+	resp, err := b.client.ShardAlign(ctx, b.urls, req)
+	if err != nil {
+		return nil, fmt.Errorf("remote: backend %s: %w", b.name, err)
+	}
+	if len(resp.Alignments) != len(hits) {
+		return nil, fmt.Errorf("remote: backend %s answered %d alignments for %d hits", b.name, len(resp.Alignments), len(hits))
+	}
+	out := make([]core.AlignmentDetail, len(hits))
+	for i, w := range resp.Alignments {
+		if w.Index != hits[i].SeqIndex {
+			return nil, fmt.Errorf("remote: backend %s answered alignment %d for index %d (want %d)", b.name, i, w.Index, hits[i].SeqIndex)
+		}
+		out[i] = core.AlignmentDetail{
+			SeqIndex:     w.Index,
+			Score:        w.Score,
+			QueryStart:   w.QueryStart,
+			QueryEnd:     w.QueryEnd,
+			SubjectStart: w.SubjectStart,
+			SubjectEnd:   w.SubjectEnd,
+			CIGAR:        w.CIGAR,
+			Identities:   w.Identities,
+			Columns:      w.Columns,
+		}
+	}
+	return out, nil
+}

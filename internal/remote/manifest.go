@@ -1,0 +1,134 @@
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// ShardManifest describes one shard of a cut.
+type ShardManifest struct {
+	// Key is the shard's durable content identity: the checksum key of
+	// its .swdb file (index.Key). Nodes advertise it on /shards and the
+	// coordinator routes by it.
+	Key string `json:"key"`
+	// File is the shard's .swdb filename, relative to the manifest.
+	File string `json:"file"`
+	// Sequences and Residues size the shard.
+	Sequences int   `json:"sequences"`
+	Residues  int64 `json:"residues"`
+	// ParentIndex maps the shard's caller order back to the parent
+	// database: parent index ParentIndex[j] is the shard's j-th sequence.
+	// Replaying it through seqdb.Select reconstructs the shard exactly.
+	ParentIndex []int `json:"parent_index"`
+}
+
+// Manifest records a shard cut of one parent .swdb index: which shards
+// exist, their durable checksum keys, and how each maps back into the
+// parent — everything a coordinator needs to merge per-shard scores into
+// parent order without trusting file paths or node configuration.
+type Manifest struct {
+	Version int `json:"version"`
+	// Parent is the parent index's checksum key; a coordinator refuses to
+	// serve a database whose key disagrees.
+	Parent string `json:"parent"`
+	// Alphabet names the residue alphabet ("protein" or "dna").
+	Alphabet string `json:"alphabet"`
+	// Sequences and Residues size the parent.
+	Sequences int   `json:"sequences"`
+	Residues  int64 `json:"residues"`
+	// Shards lists the cut, in cut order.
+	Shards []ShardManifest `json:"shards"`
+}
+
+// Validate checks the manifest's internal consistency: a known version,
+// non-empty keys, and shard ParentIndex lists that cover the parent
+// exactly (every parent index in exactly one shard). A manifest that
+// fails Validate can silently mis-merge scores, so every loader runs it.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("remote: manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	if m.Parent == "" {
+		return fmt.Errorf("remote: manifest has no parent key")
+	}
+	seen := make([]bool, m.Sequences)
+	covered := 0
+	var residues int64
+	for i, sh := range m.Shards {
+		if sh.Key == "" {
+			return fmt.Errorf("remote: shard %d has no key", i)
+		}
+		if len(sh.ParentIndex) != sh.Sequences {
+			return fmt.Errorf("remote: shard %d (%s) declares %d sequences but maps %d parent indices",
+				i, sh.Key, sh.Sequences, len(sh.ParentIndex))
+		}
+		for _, pi := range sh.ParentIndex {
+			if pi < 0 || pi >= m.Sequences || seen[pi] {
+				return fmt.Errorf("remote: shard %d (%s) maps parent index %d outside a one-to-one cover of [0,%d)",
+					i, sh.Key, pi, m.Sequences)
+			}
+			seen[pi] = true
+			covered++
+		}
+		residues += sh.Residues
+	}
+	if covered != m.Sequences {
+		return fmt.Errorf("remote: shards cover %d of %d parent sequences", covered, m.Sequences)
+	}
+	if residues != m.Residues {
+		return fmt.Errorf("remote: shard residues sum to %d, parent holds %d", residues, m.Residues)
+	}
+	return nil
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("remote: %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("remote: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// WriteManifest validates and writes a manifest, atomically (temp file +
+// rename) so a crashed write never leaves a half-manifest a coordinator
+// could load.
+func WriteManifest(path string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validManifest() *Manifest {
+	return &Manifest{
+		Version:   ManifestVersion,
+		Parent:    "swdb:0a0b0c0d-4-40",
+		Alphabet:  "protein",
+		Sequences: 4,
+		Residues:  40,
+		Shards: []ShardManifest{
+			{Key: "swdb:11111111-2-22", File: "db-00.swdb", Sequences: 2, Residues: 22, ParentIndex: []int{0, 3}},
+			{Key: "swdb:22222222-2-18", File: "db-01.swdb", Sequences: 2, Residues: 18, ParentIndex: []int{2, 1}},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.manifest.json")
+	m := validManifest()
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if got.Parent != m.Parent || len(got.Shards) != 2 || got.Shards[1].ParentIndex[1] != 1 {
+		t.Fatalf("round trip mangled the manifest: %+v", got)
+	}
+	// Atomic write must leave no temp litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".manifest-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	mutate := func(f func(*Manifest)) *Manifest {
+		m := validManifest()
+		f(m)
+		return m
+	}
+	cases := []struct {
+		name string
+		m    *Manifest
+		want string // substring of the expected error
+	}{
+		{"wrong version", mutate(func(m *Manifest) { m.Version = 2 }), "version"},
+		{"no parent", mutate(func(m *Manifest) { m.Parent = "" }), "parent"},
+		{"no shard key", mutate(func(m *Manifest) { m.Shards[0].Key = "" }), "no key"},
+		{"count mismatch", mutate(func(m *Manifest) { m.Shards[0].Sequences = 3 }), "maps"},
+		{"index out of range", mutate(func(m *Manifest) { m.Shards[0].ParentIndex = []int{0, 4} }), "cover"},
+		{"duplicate index", mutate(func(m *Manifest) { m.Shards[1].ParentIndex = []int{0, 1} }), "cover"},
+		{"incomplete cover", mutate(func(m *Manifest) {
+			m.Shards[1].ParentIndex = []int{2}
+			m.Shards[1].Sequences = 1
+		}), "cover"},
+		{"residue mismatch", mutate(func(m *Manifest) { m.Shards[1].Residues = 17 }), "residues"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.m.Validate()
+			if err == nil {
+				t.Fatal("want validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := validManifest().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+}
+
+func TestWriteManifestRejectsInvalid(t *testing.T) {
+	m := validManifest()
+	m.Parent = ""
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteManifest(path, m); err == nil {
+		t.Fatal("want error writing an invalid manifest")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("invalid manifest must not reach disk")
+	}
+}

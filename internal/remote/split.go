@@ -1,0 +1,63 @@
+package remote
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"heterosw/internal/seqdb/index"
+)
+
+// SplitIndex cuts a parent .swdb index into n shard .swdb files under dir
+// (named prefix-00.swdb, prefix-01.swdb, ...) and returns the manifest
+// describing the cut. Shards are equal residue fractions dealt greedily in
+// processing order (seqdb.SplitN), so every shard inherits the parent's
+// length distribution. Each written shard is reopened to obtain its
+// durable checksum key — the same key the serving node will advertise —
+// which both validates the write round-trips and ties the manifest to the
+// bytes on disk rather than to this process's in-memory state.
+//
+// The caller persists the manifest with WriteManifest.
+func SplitIndex(parentPath string, n int, dir, prefix string) (*Manifest, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("remote: cannot split into %d shards (want at least 2)", n)
+	}
+	ix, err := index.Open(parentPath)
+	if err != nil {
+		return nil, err
+	}
+	db := ix.Database()
+	if db.Len() < n {
+		return nil, fmt.Errorf("remote: cannot split %d sequences into %d shards", db.Len(), n)
+	}
+	fracs := make([]float64, n)
+	for i := range fracs {
+		fracs[i] = 1 / float64(n)
+	}
+	shards, idx := db.SplitN(fracs)
+	m := &Manifest{
+		Version:   ManifestVersion,
+		Parent:    ix.Key(),
+		Alphabet:  db.Alphabet().Name(),
+		Sequences: db.Len(),
+		Residues:  db.Residues(),
+	}
+	for i, sdb := range shards {
+		file := fmt.Sprintf("%s-%02d.swdb", prefix, i)
+		path := filepath.Join(dir, file)
+		if _, err := index.WriteFile(path, sdb); err != nil {
+			return nil, fmt.Errorf("remote: writing shard %d: %w", i, err)
+		}
+		six, err := index.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("remote: reopening shard %d: %w", i, err)
+		}
+		m.Shards = append(m.Shards, ShardManifest{
+			Key:         six.Key(),
+			File:        file,
+			Sequences:   sdb.Len(),
+			Residues:    sdb.Residues(),
+			ParentIndex: idx[i],
+		})
+	}
+	return m, nil
+}

@@ -1,0 +1,60 @@
+package seqdb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSelectMirrorsSplitN pins the property the distributed coordinator
+// relies on: replaying a shard's parent-index list through Select (with
+// the shard's key) reconstructs a database whose caller order, processing
+// order and key match the shard SplitN produced — so remote per-sequence
+// results merge back into parent order exactly.
+func TestSelectMirrorsSplitN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parent := New(makeSeqs(rng, 60, 200), true)
+	shards, idx := parent.SplitN([]float64{1, 1, 1})
+	for i, shard := range shards {
+		got, err := parent.Select(idx[i], shard.Key())
+		if err != nil {
+			t.Fatalf("shard %d: Select: %v", i, err)
+		}
+		if got.Key() != shard.Key() {
+			t.Fatalf("shard %d: key %q != %q", i, got.Key(), shard.Key())
+		}
+		if got.Len() != shard.Len() || got.Residues() != shard.Residues() {
+			t.Fatalf("shard %d: stats %d/%d != %d/%d", i,
+				got.Len(), got.Residues(), shard.Len(), shard.Residues())
+		}
+		for j := 0; j < shard.Len(); j++ {
+			if got.Seq(j) != shard.Seq(j) {
+				t.Fatalf("shard %d: caller-order seq %d differs", i, j)
+			}
+			// Sequences are shared with the parent, not copied.
+			if got.Seq(j) != parent.Seq(idx[i][j]) {
+				t.Fatalf("shard %d: seq %d is not the parent's object", i, j)
+			}
+		}
+		gi, si := got.OrderLengths(), shard.OrderLengths()
+		for j := range gi {
+			if gi[j] != si[j] {
+				t.Fatalf("shard %d: processing order diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSelectBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	parent := New(makeSeqs(rng, 4, 50), true)
+	if _, err := parent.Select([]int{0, 4}, "k"); err == nil {
+		t.Fatal("index == Len() must be rejected")
+	}
+	if _, err := parent.Select([]int{-1}, "k"); err == nil {
+		t.Fatal("negative index must be rejected")
+	}
+	got, err := parent.Select(nil, "empty")
+	if err != nil || got.Len() != 0 || got.Key() != "empty" {
+		t.Fatalf("empty select: %v, %d seqs, key %q", err, got.Len(), got.Key())
+	}
+}

@@ -361,6 +361,27 @@ func (db *Database) SplitN(fracs []float64) ([]*Database, [][]int) {
 	return out, idx
 }
 
+// Select builds a database over the parent sequences at the given caller
+// indices, in the given order, with an explicit content key. It is the
+// coordinator-side mirror of a shard cut: replaying a shard manifest's
+// parent-index list through Select (with the shard's checksum key)
+// reconstructs a database whose caller order, processing order and key all
+// match the shard index a remote node loaded from disk, so per-sequence
+// results computed remotely merge back into parent order exactly. The
+// sequences are shared, not copied.
+func (db *Database) Select(indices []int, key string) (*Database, error) {
+	seqs := make([]*sequence.Sequence, len(indices))
+	for i, si := range indices {
+		if si < 0 || si >= len(db.seqs) {
+			return nil, fmt.Errorf("seqdb: select index %d outside [0,%d)", si, len(db.seqs))
+		}
+		seqs[i] = db.seqs[si]
+	}
+	out := New(seqs, db.sorted)
+	out.key = key
+	return out, nil
+}
+
 // OrderSlice returns a database over the window [start, end) of the
 // processing order, plus the parent indices (caller order) of its members —
 // the building block of the cluster dispatcher's device-level chunk queue.

@@ -57,6 +57,12 @@ func (d *Database) Alphabet() string { return d.db.Alphabet().Name() }
 // Residues returns the total residue count.
 func (d *Database) Residues() int64 { return d.db.Residues() }
 
+// Key returns the database's durable content identity — the
+// checksum-derived key of a .swdb-loaded database (see OpenIndexFile) —
+// or "" for an in-memory database, which has no durable identity. The
+// distributed layer routes shards by this key.
+func (d *Database) Key() string { return d.db.Key() }
+
 // Seq returns the i-th sequence in the caller's original order.
 func (d *Database) Seq(i int) Sequence { return Sequence{impl: d.db.Seq(i)} }
 

@@ -478,6 +478,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, t := range tickets {
 		res, err := t.Wait(r.Context())
 		if err != nil {
+			// Wait surfaces scheduler teardown as qsched.ErrClosed; map it to
+			// the cluster-level sentinel so searchStatus answers the retryable
+			// 503, exactly as the Submit path above does.
+			if errors.Is(err, qsched.ErrClosed) {
+				err = ErrClusterClosed
+			}
 			writeError(w, searchStatus(r, err), fmt.Errorf("query %d: %w", i, err))
 			return
 		}
@@ -513,18 +519,30 @@ func fastaQueries(text, alpha string) ([]QueryJSON, error) {
 	return out, nil
 }
 
-// searchStatus maps a search failure to an HTTP status: a disconnected
-// or timed-out client gets a request-timeout code (unsendable when truly
-// gone, but meaningful under a deadline), a draining cluster the
-// retryable 503, an E-value request the database cannot satisfy the
+// searchStatus maps a search failure to an HTTP status: a draining
+// cluster gets the retryable 503, a disconnected or timed-out client a
+// request-timeout code (unsendable when truly gone, but meaningful under
+// a deadline), an E-value request the database cannot satisfy the
 // non-retryable 422, anything else a server-side failure. Both /search
 // and /batch route every failure through here so the two endpoints agree.
+//
+// Order matters twice over. A cluster teardown cancels in-flight waits
+// through a context too, and under CloseNow the request context is often
+// also dead by the time the handler observes the failure — if the bare
+// "is the request context dead?" test ran first, a teardown would
+// masquerade as 408 and retry-safe clients would stop retrying exactly
+// when retrying is correct; so ErrClusterClosed wins. And 408 is only
+// truthful when the failure actually came from the client's own
+// disconnect or deadline: the error must wrap the request context's
+// error, not merely coincide with a dead context. A real server-side
+// failure that races a client disconnect stays a 5xx — masking it as 408
+// would tell retrying clients the request was never worth finishing.
 func searchStatus(r *http.Request, err error) int {
-	if r.Context().Err() != nil {
-		return http.StatusRequestTimeout
-	}
 	if errors.Is(err, ErrClusterClosed) {
 		return http.StatusServiceUnavailable
+	}
+	if rerr := r.Context().Err(); rerr != nil && errors.Is(err, rerr) {
+		return http.StatusRequestTimeout
 	}
 	if errors.Is(err, ErrNoSignificance) {
 		return http.StatusUnprocessableEntity

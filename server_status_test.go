@@ -1,0 +1,71 @@
+package heterosw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSearchStatus pins the HTTP status mapping both serving endpoints
+// share — in particular the two ordering rules its doc comment argues
+// for: teardown beats a dead request context (503, retryable), and 408
+// is only truthful when the failure actually came from the request's
+// own context, so a real 5xx racing a client disconnect stays a 5xx.
+func TestSearchStatus(t *testing.T) {
+	liveReq := func() *http.Request {
+		return httptest.NewRequest(http.MethodPost, "/search", nil)
+	}
+	cancelledReq := func() *http.Request {
+		r := liveReq()
+		ctx, cancel := context.WithCancel(r.Context())
+		cancel()
+		return r.WithContext(ctx)
+	}
+
+	cases := []struct {
+		name string
+		req  *http.Request
+		err  error
+		want int
+	}{
+		{"closed, live ctx", liveReq(), ErrClusterClosed, http.StatusServiceUnavailable},
+		// The first ordering pin: under CloseNow the request context is
+		// often dead too, and the old blanket context check turned this
+		// retryable teardown into a terminal-looking 408.
+		{"closed, dead ctx", cancelledReq(), fmt.Errorf("wait: %w (%w)", ErrClusterClosed, context.Canceled), http.StatusServiceUnavailable},
+		// The second ordering pin: a genuine server-side failure that
+		// merely races a client disconnect must stay a 5xx — the error
+		// does not wrap the request context's error.
+		{"real failure, dead ctx", cancelledReq(), errors.New("kernel: simulated fault"), http.StatusInternalServerError},
+		{"client cancel", cancelledReq(), fmt.Errorf("search: %w", context.Canceled), http.StatusRequestTimeout},
+		{"no significance", liveReq(), fmt.Errorf("fit: %w", ErrNoSignificance), http.StatusUnprocessableEntity},
+		{"bad matrix", liveReq(), fmt.Errorf("parse: %w", ErrBadMatrix), http.StatusBadRequest},
+		{"too many alignments", liveReq(), ErrTooManyAlignments, http.StatusBadRequest},
+		{"generic failure", liveReq(), errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := searchStatus(tc.req, tc.err); got != tc.want {
+				t.Errorf("searchStatus(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSearchStatusDeadline covers the deadline flavour of 408: the
+// request context expired and the failure wraps that expiry.
+func TestSearchStatusDeadline(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/search", nil)
+	ctx, cancel := context.WithDeadline(r.Context(), time.Now().Add(-time.Second))
+	defer cancel()
+	r = r.WithContext(ctx)
+	<-ctx.Done()
+	err := fmt.Errorf("search: %w", context.DeadlineExceeded)
+	if got := searchStatus(r, err); got != http.StatusRequestTimeout {
+		t.Fatalf("deadline-exceeded search = %d, want 408", got)
+	}
+}
