@@ -298,11 +298,19 @@ type Cluster struct {
 	cache    *qsched.Cache[*ClusterResult]
 	keyBase  string
 
-	mu        sync.Mutex
-	serving   *qsched.Scheduler[reportQuery, *ClusterResult] // lazy; SearchScheduled and the HTTP front end
-	defStream *Stream                                        // lazy; the Submit/Results/Close compatibility surface
-	defClosed bool                                           // Close seen before the default stream existed
-	closed    bool                                           // set by CloseNow; scheduled paths refuse new work
+	mu sync.Mutex
+	// lazy; SearchScheduled and the HTTP front end
+	//sw:guardedBy(mu)
+	serving *qsched.Scheduler[reportQuery, *ClusterResult]
+	// lazy; the Submit/Results/Close compatibility surface
+	//sw:guardedBy(mu)
+	defStream *Stream
+	// Close seen before the default stream existed
+	//sw:guardedBy(mu)
+	defClosed bool
+	// set by CloseNow; scheduled paths refuse new work
+	//sw:guardedBy(mu)
+	closed bool
 }
 
 // NewCluster builds a cluster over the database with the given roster and
@@ -403,8 +411,20 @@ func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
 // the score lists — Algorithm 2 with N devices. An optional ReportOptions
 // enables the aligned-hit reporting phases: tracebacks over the top-K hits
 // and/or an E-value fit over the score distribution. Search bypasses the
-// scheduler and cache; serving traffic should prefer SearchScheduled.
+// scheduler and cache; serving traffic should prefer SearchScheduled. It
+// is the context-free convenience root; cancellable callers use
+// SearchContext.
+//
+//sw:ctxroot
 func (c *Cluster) Search(query Sequence, report ...ReportOptions) (*ClusterResult, error) {
+	return c.SearchContext(context.Background(), query, report...)
+}
+
+// SearchContext is Search with cancellation: ctx is threaded through the
+// score pass (checked at query boundaries, carried to remote shard nodes)
+// and the reporting phases, so a dead caller aborts traceback decoration
+// instead of fanning it out.
+func (c *Cluster) SearchContext(ctx context.Context, query Sequence, report ...ReportOptions) (*ClusterResult, error) {
 	rep, err := oneReport(report)
 	if err != nil {
 		return nil, err
@@ -415,12 +435,12 @@ func (c *Cluster) Search(query Sequence, report ...ReportOptions) (*ClusterResul
 	if query.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value query")
 	}
-	res, err := c.disp.Search(query.impl, c.dopt)
+	res, err := c.disp.SearchContext(ctx, query.impl, c.dopt)
 	if err != nil {
 		return nil, err
 	}
 	out := c.wrap(res)
-	if err := c.decorate(context.Background(), query, out, rep, c.dopt); err != nil {
+	if err := c.decorate(ctx, query, out, rep, c.dopt); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -432,7 +452,15 @@ func (c *Cluster) Search(query Sequence, report ...ReportOptions) (*ClusterResul
 // ErrBadMatrix. Like Search it bypasses the scheduler and cache — a
 // per-request matrix changes the scores, so such results must never share
 // cache entries with the cluster-wide configuration.
+//
+//sw:ctxroot
 func (c *Cluster) SearchMatrix(query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
+	return c.SearchMatrixContext(context.Background(), query, matrixText, report...)
+}
+
+// SearchMatrixContext is SearchMatrix with cancellation (see
+// SearchContext for the semantics).
+func (c *Cluster) SearchMatrixContext(ctx context.Context, query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
 	rep, err := oneReport(report)
 	if err != nil {
 		return nil, err
@@ -447,12 +475,12 @@ func (c *Cluster) SearchMatrix(query Sequence, matrixText string, report ...Repo
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.disp.Search(query.impl, dopt)
+	res, err := c.disp.SearchContext(ctx, query.impl, dopt)
 	if err != nil {
 		return nil, err
 	}
 	out := c.wrap(res)
-	if err := c.decorate(context.Background(), query, out, rep, dopt); err != nil {
+	if err := c.decorate(ctx, query, out, rep, dopt); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -477,8 +505,18 @@ func (c *Cluster) doptWithMatrix(matrixText string) (core.DispatchOptions, error
 // SearchBatch runs a batch of queries, amortising the shard split, chunk
 // partition and per-backend lane packings across the whole batch. Results
 // are returned in query order; an optional ReportOptions applies to every
-// query of the batch.
+// query of the batch. It is the context-free convenience root;
+// cancellable callers use SearchBatchContext.
+//
+//sw:ctxroot
 func (c *Cluster) SearchBatch(queries []Sequence, report ...ReportOptions) ([]*ClusterResult, error) {
+	return c.SearchBatchContext(context.Background(), queries, report...)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: the context is
+// checked at every query boundary of the score pass and threaded into
+// each query's reporting phases.
+func (c *Cluster) SearchBatchContext(ctx context.Context, queries []Sequence, report ...ReportOptions) ([]*ClusterResult, error) {
 	rep, err := oneReport(report)
 	if err != nil {
 		return nil, err
@@ -493,7 +531,7 @@ func (c *Cluster) SearchBatch(queries []Sequence, report ...ReportOptions) ([]*C
 		}
 		rqs[i] = reportQuery{seq: q, rep: rep}
 	}
-	return c.searchBatchCtx(context.Background(), rqs)
+	return c.searchBatchCtx(ctx, rqs)
 }
 
 // searchBatchCtx is the batch executor behind SearchBatch and every

@@ -158,7 +158,7 @@ func main() {
 		if len(nodeURLs) == 0 {
 			fatal(fmt.Errorf("-manifest (coordinator mode) requires -nodes"))
 		}
-		cl, err = heterosw.NewDistributedCluster(db, *manifest, nodeURLs, heterosw.DistributedOptions{
+		cl, err = heterosw.NewDistributedCluster(context.Background(), db, *manifest, nodeURLs, heterosw.DistributedOptions{
 			Options:     opt.Options,
 			MaxInFlight: *inflight,
 			BatchWindow: *window,

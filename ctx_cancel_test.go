@@ -1,0 +1,76 @@
+package heterosw
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSearchContextCancelled proves a dead caller aborts the whole search:
+// a pre-cancelled context fails the score pass at the first query boundary
+// with context.Canceled, not a partial result.
+func TestSearchContextCancelled(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := cl.SearchContext(ctx, NewSequence("q", "MKWVLA"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled search returned a result: %+v", res)
+	}
+}
+
+// TestDecorateCancelled pins the reporting phase specifically: a context
+// cancelled after the score pass aborts the traceback fan-out (AlignHits
+// workers check ctx at every queue pop) instead of re-aligning the hits.
+func TestDecorateCancelled(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewSequence("q", "MKWVLA")
+	res, err := cl.SearchContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = cl.decorate(ctx, q, res, ReportOptions{Alignments: true}, cl.dopt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled decorate: err = %v, want context.Canceled", err)
+	}
+	// The same call with a live context succeeds, so the failure above is
+	// the cancellation, not the inputs.
+	if err := cl.decorate(context.Background(), q, res, ReportOptions{Alignments: true}, cl.dopt); err != nil {
+		t.Fatalf("live decorate: %v", err)
+	}
+	for _, h := range res.Hits {
+		if h.Alignment == nil {
+			t.Fatalf("hit %q missing alignment after live decorate", h.ID)
+		}
+	}
+}
+
+// TestSearchTranslatedContextCancelled covers the translated path: the
+// per-frame batch search shares the request context, so cancellation stops
+// the six-frame fan-out too.
+func TestSearchTranslatedContextCancelled(t *testing.T) {
+	db, _ := tinyDB(t)
+	cl, err := NewCluster(db, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = cl.SearchTranslatedContext(ctx, NewDNASequence("d", "ATGAAATGGGTACTGGCT"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled translated search: err = %v, want context.Canceled", err)
+	}
+}

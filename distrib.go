@@ -68,7 +68,11 @@ type DistributedOptions struct {
 // HTTP front end coalesce, dedup and cache exactly as on a local
 // cluster. Aligned reports fan tracebacks out to the nodes owning each
 // hit's shard.
-func NewDistributedCluster(db *Database, manifestPath string, nodes []string, opt DistributedOptions) (*Cluster, error) {
+//
+// ctx bounds the construction-time node probes: cancelling it aborts the
+// topology discovery (a caller-side startup deadline), and it is not
+// retained after NewDistributedCluster returns.
+func NewDistributedCluster(ctx context.Context, db *Database, manifestPath string, nodes []string, opt DistributedOptions) (*Cluster, error) {
 	if db == nil {
 		return nil, fmt.Errorf("heterosw: nil database")
 	}
@@ -105,7 +109,7 @@ func NewDistributedCluster(db *Database, manifestPath string, nodes []string, op
 	owners := make(map[string][]string)
 	var probeErrs []error
 	for _, node := range nodes {
-		resp, err := client.Shards(context.Background(), node)
+		resp, err := client.Shards(ctx, node)
 		if err != nil {
 			probeErrs = append(probeErrs, fmt.Errorf("%s: %w", node, err))
 			continue

@@ -146,7 +146,7 @@ func TestCoordinatorConformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestCoordinatorNodeDownAtFanout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestCoordinatorNodeDiesMidQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{dying.URL, healthy.URL}, fastDistribOptions())
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{dying.URL, healthy.URL}, fastDistribOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestCoordinatorRetryThenSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{flaky.URL}, fastDistribOptions())
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{flaky.URL}, fastDistribOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestCoordinatorHedgeSlowReplica(t *testing.T) {
 	opt := fastDistribOptions()
 	opt.Retries = -1 // isolate hedging from retries
 	opt.HedgeDelay = 5 * time.Millisecond
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{slow.URL, fast.URL}, opt)
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{slow.URL, fast.URL}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func BenchmarkCoordinatorLoopback(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	coord, err := NewDistributedCluster(parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{nodeA.URL, nodeB.URL}, fastDistribOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -439,7 +439,7 @@ func TestCoordinatorRejectsWrongParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewDistributedCluster(wrong, manifestPath, []string{node.URL}, fastDistribOptions()); err == nil {
+	if _, err := NewDistributedCluster(context.Background(), wrong, manifestPath, []string{node.URL}, fastDistribOptions()); err == nil {
 		t.Fatal("a coordinator over the wrong parent database must be refused")
 	} else if !strings.Contains(err.Error(), "manifest parent") {
 		t.Fatalf("refusal should name the key mismatch, got: %v", err)
@@ -457,7 +457,7 @@ func TestCoordinatorUnownedShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = NewDistributedCluster(parentDB, manifestPath, []string{nodeA.URL}, fastDistribOptions())
+	_, err = NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{nodeA.URL}, fastDistribOptions())
 	if err == nil {
 		t.Fatal("a shard nobody serves must fail construction")
 	}

@@ -1,0 +1,274 @@
+// Package analysis is the project's static-analysis framework: a small,
+// dependency-free core (modelled on golang.org/x/tools/go/analysis, which
+// the build environment does not vendor) plus the project-specific
+// analyzers behind cmd/swlint.
+//
+// The repository rests on invariants that tests and fuzzers only sample:
+// allocation-free asm-backed kernel columns, unsafe zero-copy reinterprets
+// over mmapped .swdb images, a sentinel-error taxonomy the distributed
+// retry policy depends on being honest, request contexts that must reach
+// every blocking call for hedging and cancellation to work, and
+// mutex-guarded accounting shared across goroutines. Each analyzer turns
+// one of those disciplines into a compiler-backed check that runs over the
+// whole repository in CI (see cmd/swlint), so a violation fails the build
+// instead of waiting for a fuzzer to sample it.
+//
+// # Annotations
+//
+// The analyzers are driven by machine-readable //sw: directive comments
+// (written without a space after //, like //go: directives, so gofmt
+// leaves them alone):
+//
+//	//sw:hotpath        function doc: steady-state allocation-free kernel
+//	                    discipline (see the hotalloc analyzer)
+//	//sw:ctxroot        function doc: this function may mint
+//	                    context.Background/TODO — a process-lifetime root
+//	                    or a documented context-free convenience wrapper
+//	//sw:errmapper      function doc: the central error -> HTTP response
+//	                    mapper, allowed to render err.Error() into bodies
+//	//sw:guardedBy(mu)  struct field: the field may only be accessed by
+//	                    functions that lock the sibling mutex field mu
+//	//sw:locked(mu)     function doc: the caller guarantees mu is held, so
+//	                    guardedBy(mu) accesses inside are legal
+//
+// Analyzers receive a fully type-checked package (a Pass), report
+// position-anchored Diagnostics, and are pure functions of the source —
+// the same inputs always produce the same findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the one-paragraph description printed by swlint -help.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Reportf. A non-nil error aborts the whole run (reserved for
+	// internal failures, never for findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos values of Files to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed compiled Go files (test files are
+	// not analyzed; the invariants the analyzers enforce are production
+	// disciplines).
+	Files []*ast.File
+	// Pkg and Info are the type-checker's results for Files.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Analyzer errors (internal failures, not
+// findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// A Directive is one parsed //sw: annotation.
+type Directive struct {
+	// Name is the directive keyword ("hotpath", "guardedBy", ...).
+	Name string
+	// Arg is the text inside the optional parentheses ("mu" for
+	// //sw:guardedBy(mu)); empty when absent.
+	Arg string
+	// Pos locates the directive comment.
+	Pos token.Pos
+}
+
+// directivePrefix introduces every project annotation.
+const directivePrefix = "//sw:"
+
+// ParseDirectives extracts //sw: directives from comment groups. Nil
+// groups are permitted.
+func ParseDirectives(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(text, directivePrefix)
+			name, arg := body, ""
+			if i := strings.IndexByte(body, '('); i >= 0 {
+				j := strings.IndexByte(body[i:], ')')
+				if j < 0 {
+					continue // unbalanced parens: not a directive
+				}
+				name, arg = body[:i], body[i+1:i+j]
+			} else {
+				name, _, _ = strings.Cut(body, " ")
+			}
+			out = append(out, Directive{Name: name, Arg: strings.TrimSpace(arg), Pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// FuncDirectives returns the //sw: directives in a function's doc comment.
+func FuncDirectives(fn *ast.FuncDecl) []Directive {
+	return ParseDirectives(fn.Doc)
+}
+
+// HasDirective reports whether ds contains a directive named name.
+func HasDirective(ds []Directive, name string) bool {
+	for _, d := range ds {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveArgs collects the Arg of every directive named name.
+func DirectiveArgs(ds []Directive, name string) []string {
+	var out []string
+	for _, d := range ds {
+		if d.Name == name {
+			out = append(out, d.Arg)
+		}
+	}
+	return out
+}
+
+// ErrorType is the universe error interface, for Implements tests.
+var ErrorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t implements error.
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, ErrorType)
+}
+
+// IsNamedType reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	pkg := obj.Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// CalleeObject resolves the object a call expression invokes (function,
+// method or builtin), or nil when the callee is dynamic (a function value)
+// or a type conversion.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := CalleeObject(info, call)
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return false
+	}
+	pkg := obj.Pkg()
+	return pkg != nil && pkg.Path() == pkgPath
+}
+
+// IsBuiltin reports whether call invokes the named builtin (len, cap,
+// make, new, append, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// IsConversion reports whether call is a type conversion rather than a
+// function call, returning the target type.
+func IsConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}

@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"heterosw/internal/analysis"
+	"heterosw/internal/analysis/analysistest"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, fixture("hotalloc", "bad"), analysis.Hotalloc)
+	analysistest.Run(t, fixture("hotalloc", "good"), analysis.Hotalloc)
+}
+
+func TestUnsafescope(t *testing.T) {
+	analysistest.Run(t, fixture("unsafescope", "bad"), analysis.Unsafescope)
+
+	// The compliant fixture plays an allowlisted package.
+	defer func(old []string) { analysis.UnsafeAllowlist = old }(analysis.UnsafeAllowlist)
+	analysis.UnsafeAllowlist = append(analysis.UnsafeAllowlist, "good")
+	analysistest.Run(t, fixture("unsafescope", "good"), analysis.Unsafescope)
+}
+
+func TestErrfence(t *testing.T) {
+	analysistest.Run(t, fixture("errfence", "bad"), analysis.Errfence)
+	analysistest.Run(t, fixture("errfence", "good"), analysis.Errfence)
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, fixture("ctxflow", "bad"), analysis.Ctxflow)
+	analysistest.Run(t, fixture("ctxflow", "good"), analysis.Ctxflow)
+	analysistest.Run(t, fixture("ctxflow", "mainpkg"), analysis.Ctxflow)
+}
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, fixture("guardedby", "bad"), analysis.Guardedby)
+	analysistest.Run(t, fixture("guardedby", "good"), analysis.Guardedby)
+	analysistest.Run(t, fixture("guardedby", "generic"), analysis.Guardedby)
+}
+
+// TestParseDirectives pins the annotation grammar: //sw:name, optional
+// (arg), written without a space after // so gofmt preserves it.
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+// kernel does things fast.
+//
+//sw:hotpath
+//sw:locked(mu)
+//sw:guardedBy( stats )
+// plain comment, not a directive
+// sw:spaced is not a directive either
+func kernel() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	ds := analysis.FuncDirectives(fn)
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(ds), ds)
+	}
+	if !analysis.HasDirective(ds, "hotpath") {
+		t.Errorf("hotpath directive not found in %+v", ds)
+	}
+	if got := analysis.DirectiveArgs(ds, "locked"); len(got) != 1 || got[0] != "mu" {
+		t.Errorf("locked args = %v, want [mu]", got)
+	}
+	if got := analysis.DirectiveArgs(ds, "guardedBy"); len(got) != 1 || got[0] != "stats" {
+		t.Errorf("guardedBy args = %v, want [stats] (arg whitespace trimmed)", got)
+	}
+	if analysis.HasDirective(ds, "spaced") {
+		t.Errorf("'// sw:' with a space must not parse as a directive")
+	}
+}

@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want expectations, mirroring the x/tools
+// harness of the same name.
+//
+// A fixture is a directory of Go files (conventionally
+// testdata/src/<case> under the analyzer's package). Lines that must
+// trigger a diagnostic carry a trailing comment:
+//
+//	m := map[int]int{} // want `hot path: map literal`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message; several expectations may follow one want on the same line.
+// Every expectation must be hit and every diagnostic must be expected —
+// silent fixtures prove the analyzer's negative space as strictly as
+// firing ones prove its positive space.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"heterosw/internal/analysis"
+)
+
+// An expectation is one // want entry: a message regexp anchored to a
+// file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the fixture package in dir, applies a, and reports any
+// mismatch between diagnostics and // want expectations as test errors.
+// It returns the diagnostics for additional assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				es, err := parseWant(pkg.Fset.Position(c.Pos()), c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				wants = append(wants, es...)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unused expectation matching d, if any.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWant extracts the expectations from one comment, or nil when the
+// comment is not a want.
+func parseWant(pos token.Position, text string) ([]*expectation, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*expectation
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string: %s", rest)
+			}
+			raw := rest[:end+2]
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %v", raw, err)
+			}
+			lit, rest = unq, rest[end+2:]
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string: %s", rest)
+			}
+			lit, rest = rest[1:end+1], rest[end+2:]
+		default:
+			return nil, fmt.Errorf("want expects quoted regexps, got: %s", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out, nil
+}

@@ -1,0 +1,10 @@
+package analysis
+
+// All is the full project analyzer suite, in the order swlint runs it.
+var All = []*Analyzer{
+	Hotalloc,
+	Unsafescope,
+	Errfence,
+	Ctxflow,
+	Guardedby,
+}

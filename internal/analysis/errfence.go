@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errfence polices the sentinel-error taxonomy the distributed retry
+// policy depends on being honest. Sentinels are package-level error
+// variables named Err*; the analyzer reports:
+//
+//   - == or != against a sentinel (wrapped errors make identity false;
+//     use errors.Is)
+//   - switch cases matching a sentinel on an error-typed tag
+//   - fmt.Errorf calls that include a sentinel argument but whose
+//     constant format string has no %w verb — the wrap chain breaks and
+//     errors.Is stops seeing the sentinel downstream
+//   - err.Error() rendered inside an HTTP handler (a function taking an
+//     http.ResponseWriter) unless the function carries //sw:errmapper —
+//     handlers must route through the central status mapper so bodies
+//     and status codes stay consistent
+var Errfence = &Analyzer{
+	Name: "errfence",
+	Doc:  "enforce %w wrapping, errors.Is comparison and central HTTP error mapping for Err* sentinels",
+	Run:  runErrfence,
+}
+
+func runErrfence(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && takesResponseWriter(pass.Info, fn) &&
+				!HasDirective(FuncDirectives(fn), "errmapper") {
+				checkHandlerErrors(pass, fn)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(pass.Info, n.X) || isNilExpr(pass.Info, n.Y) {
+					return true
+				}
+				if sentinelObject(pass.Info, n.X) != nil || sentinelObject(pass.Info, n.Y) != nil {
+					pass.Reportf(n.OpPos, "sentinel error compared with %s; use errors.Is", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !IsErrorType(pass.Info.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if sentinelObject(pass.Info, e) != nil {
+							pass.Reportf(e.Pos(), "sentinel error matched in switch; use errors.Is")
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObject resolves expr to a package-level error variable named
+// Err*, or nil. Both local and imported sentinels count.
+func sentinelObject(info *types.Info, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || !strings.HasPrefix(obj.Name(), "Err") || !IsErrorType(obj.Type()) {
+		return nil
+	}
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	return obj
+}
+
+func isNilExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.IsNil()
+}
+
+// checkErrorfWrap reports fmt.Errorf calls that pass a sentinel without a
+// %w verb in a constant format string.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !IsPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if obj := sentinelObject(pass.Info, arg); obj != nil {
+			pass.Reportf(call.Pos(), "fmt.Errorf wraps sentinel %s without %%w; errors.Is will not see it", obj.Name())
+			return
+		}
+	}
+}
+
+// takesResponseWriter reports whether fn has an http.ResponseWriter
+// parameter — the shape of an HTTP handler.
+func takesResponseWriter(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if IsNamedType(info.TypeOf(field.Type), "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHandlerErrors reports err.Error() calls inside an HTTP handler
+// that is not the annotated error mapper.
+func checkHandlerErrors(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			return true
+		}
+		if t := pass.Info.TypeOf(sel.X); t != nil && IsErrorType(t) {
+			pass.Reportf(call.Pos(), "raw err.Error() in HTTP handler %s; route through the //sw:errmapper status mapper", fn.Name.Name)
+		}
+		return true
+	})
+}

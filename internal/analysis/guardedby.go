@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Guardedby checks mutex discipline on annotated struct fields. A field
+// declared with a //sw:guardedBy(mu) comment (doc or trailing) may only
+// be read or written inside a function that demonstrably holds mu:
+// either the function body contains a mu.Lock()/mu.RLock() call, or the
+// function is annotated //sw:locked(mu), declaring that its callers hold
+// the lock. The check is function-granular — it proves the lock is taken
+// somewhere in the accessing function, not that it brackets the access —
+// which is exactly the invariant the dispatcher totals, scheduler stats
+// and cache counters rely on.
+//
+// Annotations naming a mutex that is not a sibling field of the struct
+// are themselves reported, so a typo cannot silently disable the check.
+var Guardedby = &Analyzer{
+	Name: "guardedby",
+	Doc:  "check //sw:guardedBy(mu) fields are only accessed with mu held",
+	Run:  runGuardedby,
+}
+
+func runGuardedby(pass *Pass) error {
+	// Pass 1: collect annotated fields and validate their mutex names.
+	// Guards are keyed by the field's declaration position, not object
+	// identity: methods on generic types see substituted copies of the
+	// struct's field objects (fresh types.Var values per method
+	// declaration), and the declaration position is the one identity that
+	// survives the substitution.
+	guards := map[token.Pos]string{} // field declaration pos -> mutex field name
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				ds := ParseDirectives(field.Doc, field.Comment)
+				for _, mu := range DirectiveArgs(ds, "guardedBy") {
+					if !siblings[mu] {
+						pass.Reportf(field.Pos(), "guardedBy(%s) names no sibling field of the struct", mu)
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.Info.Defs[name]; obj != nil {
+							guards[obj.Pos()] = mu
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// Pass 2: every selector access to a guarded field must sit in a
+	// function that locks (or declares it holds) the named mutex.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := heldMutexes(pass.Info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !obj.IsField() {
+					return true
+				}
+				mu, guarded := guards[obj.Pos()]
+				if guarded && !held[mu] {
+					pass.Reportf(sel.Sel.Pos(), "field %s (guardedBy %s) accessed without %s held in %s", sel.Sel.Name, mu, mu, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// heldMutexes reports the mutex names fn can be assumed to hold: those it
+// locks itself (x.mu.Lock / x.mu.RLock anywhere in the body) plus those
+// its //sw:locked(mu) annotation declares the caller holds.
+func heldMutexes(info *types.Info, fn *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	for _, mu := range DirectiveArgs(FuncDirectives(fn), "locked") {
+		held[mu] = true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			held[recv.Name] = true
+		case *ast.SelectorExpr:
+			held[recv.Sel.Name] = true
+		}
+		return true
+	})
+	return held
+}

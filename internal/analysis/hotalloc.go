@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc enforces the steady-state allocation-free discipline on
+// functions annotated //sw:hotpath — the per-column kernel loops in
+// internal/core, the portable fallbacks in internal/vec, and the profile
+// builders. A hot-path function may allocate its scratch once, outside
+// any loop; inside loops every iteration must be allocation-free, and a
+// set of constructs that allocate (or schedule) no matter where they
+// appear is banned outright:
+//
+//   - append (growth reallocates; hot paths index into pre-sized scratch)
+//   - map types, map literals, map indexing and map range
+//   - calls into package fmt
+//   - interface boxing: converting, assigning, passing or returning a
+//     concrete value as an interface allocates the box
+//   - closures, defer, go, channel operations and select
+//
+// make, new and composite literals remain legal outside loops — that is
+// the one-time scratch setup the kernels rely on — and are reported when
+// they appear inside any for/range body.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "check //sw:hotpath functions for steady-state heap allocation",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !HasDirective(FuncDirectives(fn), "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	loops := loopBodies(fn.Body)
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	var sig *types.Signature
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		sig = obj.Signature()
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path: closure allocates and escapes")
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hot path: defer allocates a frame record")
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path: goroutine launch")
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "hot path: channel send")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "hot path: select statement")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "hot path: channel receive")
+			}
+		case *ast.CompositeLit:
+			if isMapType(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "hot path: map literal")
+			} else if inLoop(n.Pos()) {
+				pass.Reportf(n.Pos(), "hot path: composite literal allocates in loop")
+			}
+		case *ast.IndexExpr:
+			if isMapType(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "hot path: map access")
+			}
+		case *ast.RangeStmt:
+			if isMapType(info.TypeOf(n.X)) {
+				pass.Reportf(n.X.Pos(), "hot path: map range")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, inLoop(n.Pos()))
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					checkBoxing(pass, rhs, info.TypeOf(n.Lhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if target := info.TypeOf(n.Type); target != nil {
+					for _, v := range n.Values {
+						checkBoxing(pass, v, target)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					checkBoxing(pass, res, sig.Results().At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopBodies collects the body blocks of every for/range statement in the
+// function, so allocation sites can be classified as setup vs steady-state.
+func loopBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, n.Body)
+		case *ast.RangeStmt:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, inLoop bool) {
+	info := pass.Info
+	if target, ok := IsConversion(info, call); ok {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, call.Args[0], target)
+		}
+		return
+	}
+	switch {
+	case IsBuiltin(info, call, "append"):
+		pass.Reportf(call.Pos(), "hot path: append may grow and allocate; index into pre-sized scratch")
+		return
+	case IsBuiltin(info, call, "make"):
+		if isMapType(info.TypeOf(call)) {
+			pass.Reportf(call.Pos(), "hot path: map allocation")
+		} else if inLoop {
+			pass.Reportf(call.Pos(), "hot path: make allocates in loop")
+		}
+		return
+	case IsBuiltin(info, call, "new"):
+		if inLoop {
+			pass.Reportf(call.Pos(), "hot path: new allocates in loop")
+		}
+		return
+	}
+	if obj := CalleeObject(info, call); obj != nil {
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path: call into fmt allocates")
+			return
+		}
+	}
+	// Boxing through call arguments: a concrete value passed where the
+	// callee takes an interface.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, arg, pt)
+	}
+}
+
+// checkBoxing reports expr when a concrete value meets an interface-typed
+// destination: the conversion allocates.
+func checkBoxing(pass *Pass, expr ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	t := pass.Info.TypeOf(expr)
+	if t == nil || types.IsInterface(t) {
+		return
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "hot path: interface boxing of %s", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"heterosw/internal/analysis"
+)
+
+// TestRepoPassesAllAnalyzers runs every project analyzer over the whole
+// module — the same check `swlint ./...` performs in CI — so the ordinary
+// test leg also enforces the project invariants: hot-path allocation
+// discipline, the unsafe allowlist, sentinel-error fencing, context flow
+// and mutex annotations. A finding here is a real defect (or a missing
+// annotation on a legitimate exception), not a test artefact.
+func TestRepoPassesAllAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+	}
+}

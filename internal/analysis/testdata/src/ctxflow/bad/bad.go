@@ -1,0 +1,17 @@
+package bad
+
+import "context"
+
+func search(q string) error {
+	ctx := context.Background() // want `context.Background\(\) in library path`
+	return run(ctx, q)
+}
+
+func probe(q string) error {
+	return run(context.TODO(), q) // want `context.TODO\(\) in library path`
+}
+
+func run(ctx context.Context, q string) error {
+	_, _ = ctx, q
+	return nil
+}

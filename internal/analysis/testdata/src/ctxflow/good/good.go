@@ -1,0 +1,24 @@
+package good
+
+import "context"
+
+// WithDefault mints a root only when the caller passes nil: the
+// idiomatic optional-context default is silent.
+func WithDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Serve owns the process lifetime; the annotation declares it a root.
+//
+//sw:ctxroot
+func Serve() context.Context {
+	return context.Background()
+}
+
+func threaded(ctx context.Context, q string) error {
+	_, _ = ctx, q
+	return nil
+}

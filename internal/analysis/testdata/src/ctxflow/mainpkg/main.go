@@ -1,0 +1,8 @@
+package main
+
+import "context"
+
+// CLI entry points own their lifetime: package main is exempt wholesale.
+func main() {
+	_ = context.Background()
+}

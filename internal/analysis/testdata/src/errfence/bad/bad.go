@@ -1,0 +1,35 @@
+package bad
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var ErrBadThing = errors.New("bad thing")
+
+func compare(err error) bool {
+	return err == ErrBadThing // want `sentinel error compared with ==; use errors.Is`
+}
+
+func reject(err error) bool {
+	return ErrBadThing != err // want `sentinel error compared with !=; use errors.Is`
+}
+
+func classify(err error) int {
+	switch err {
+	case ErrBadThing: // want `sentinel error matched in switch; use errors.Is`
+		return 1
+	}
+	return 0
+}
+
+func wrap(q string) error {
+	return fmt.Errorf("query %s: %v", q, ErrBadThing) // want `fmt.Errorf wraps sentinel ErrBadThing without %w`
+}
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest) // want `raw err.Error\(\) in HTTP handler handle`
+	}
+}

@@ -1,0 +1,41 @@
+package good
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var ErrBadThing = errors.New("bad thing")
+
+func compare(err error) bool {
+	return errors.Is(err, ErrBadThing)
+}
+
+func wrap(q string) error {
+	return fmt.Errorf("query %s: %w", q, ErrBadThing)
+}
+
+func describe(err error) string {
+	// %v on a non-sentinel error is a deliberate formatting choice.
+	return fmt.Sprintf("saw: %v", err)
+}
+
+// writeError is the central status mapper: the one place allowed to
+// render err.Error() into a response body.
+//
+//sw:errmapper
+func writeError(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func nilChecks(err error) bool {
+	// == nil is ordinary control flow, not sentinel identity.
+	return err == nil || err != nil
+}

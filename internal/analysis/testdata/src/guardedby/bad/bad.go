@@ -1,0 +1,18 @@
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //sw:guardedBy(mu)
+	//sw:guardedBy(lock)
+	m int // want `guardedBy\(lock\) names no sibling field of the struct`
+}
+
+func (c *counter) bump() {
+	c.n++ // want `field n \(guardedBy mu\) accessed without mu held in bump`
+}
+
+func (c *counter) read() int {
+	return c.n // want `field n \(guardedBy mu\) accessed without mu held in read`
+}

@@ -1,0 +1,34 @@
+// Package generic pins guardedby behaviour on generic structs: methods on
+// Box[T] see substituted copies of the field objects, so the analyzer must
+// match guarded fields by declaration position, not object identity.
+package generic
+
+import "sync"
+
+type Box[T any] struct {
+	mu sync.Mutex
+	//sw:guardedBy(mu)
+	items []T
+	//sw:guardedBy(mu)
+	gets int64
+}
+
+func (b *Box[T]) Len() int {
+	return len(b.items) // want `field items \(guardedBy mu\) accessed without mu held in Len`
+}
+
+func (b *Box[T]) Get(i int) T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	return b.items[i]
+}
+
+// lenLocked is documented caller-locked, so the unlocked access is fine.
+//
+//sw:locked(mu)
+func (b *Box[T]) lenLocked() int { return len(b.items) }
+
+func (b *Box[T]) Stats() int64 {
+	return b.gets // want `field gets \(guardedBy mu\) accessed without mu held in Stats`
+}

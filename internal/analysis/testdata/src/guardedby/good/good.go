@@ -1,0 +1,32 @@
+package good
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //sw:guardedBy(mu)
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// add assumes the caller already holds mu.
+//
+//sw:locked(mu)
+func (c *counter) add(d int) {
+	c.n += d
+}
+
+// reset never touches guarded fields; lock-free is fine.
+func (c *counter) reset() *sync.Mutex {
+	return &c.mu
+}

@@ -1,0 +1,44 @@
+package bad
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//sw:hotpath
+func kernel(dst []int32, xs []int32) int32 {
+	seen := map[int32]bool{} // want `hot path: map literal`
+	var best int32
+	for _, x := range xs {
+		buf := make([]int32, 4) // want `hot path: make allocates in loop`
+		buf[0] = x
+		dst = append(dst, buf[0]) // want `hot path: append may grow and allocate`
+		if seen[x] {              // want `hot path: map access`
+			continue
+		}
+		if x > best {
+			best = x
+		}
+	}
+	fmt.Println(best) // want `hot path: call into fmt allocates`
+	return best
+}
+
+//sw:hotpath
+func kernel2(x int32) any {
+	defer sink(nil) // want `hot path: defer allocates a frame record`
+	f := func() {}  // want `hot path: closure allocates and escapes`
+	f()
+	sink(x)     // want `hot path: interface boxing of int32`
+	v := any(x) // want `hot path: interface boxing of int32`
+	_ = v
+	return x // want `hot path: interface boxing of int32`
+}
+
+// unannotated: the analyzer leaves ordinary code alone.
+func slowpath(xs []int32) map[int32]bool {
+	seen := make(map[int32]bool, len(xs))
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return seen
+}

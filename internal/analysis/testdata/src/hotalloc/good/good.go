@@ -1,0 +1,28 @@
+package good
+
+// kernel allocates its scratch once, outside the loop, then runs
+// steady-state allocation-free: the shape hotalloc admits.
+//
+//sw:hotpath
+func kernel(xs []int32) int32 {
+	buf := make([]int32, len(xs))
+	var best int32
+	for i, x := range xs {
+		buf[i] = x + buf[max(i-1, 0)]
+		if buf[i] > best {
+			best = buf[i]
+		}
+	}
+	return best
+}
+
+// grow reallocates only under a capacity guard — legal because the make
+// sits outside any loop.
+//
+//sw:hotpath
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	}
+	return buf[:n]
+}

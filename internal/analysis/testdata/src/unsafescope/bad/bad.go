@@ -1,0 +1,13 @@
+package bad
+
+import "unsafe" // want `unsafe imported outside the allowlist`
+
+// view reinterprets without any len/cap validation in scope.
+func view(b []byte) string {
+	return unsafe.String(&b[0], 8) // want `unsafe.String without a len/cap bounds validation in view`
+}
+
+func peek(p *int64) int64 {
+	q := (*int32)(unsafe.Pointer(p)) // want `unsafe.Pointer without a len/cap bounds validation in peek`
+	return int64(*q)
+}

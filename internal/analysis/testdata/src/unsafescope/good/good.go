@@ -1,0 +1,26 @@
+package good
+
+import "unsafe"
+
+// view validates length before the reinterpret: silent.
+func view(b []byte) string {
+	if len(b) < 8 {
+		return ""
+	}
+	return unsafe.String(&b[0], 8)
+}
+
+// derived guards count too: the bound is computed from len up front.
+func codes(cs []byte) bool {
+	n := len(cs)
+	if n < 8 {
+		return false
+	}
+	_ = *(*uint64)(unsafe.Pointer(&cs[0]))
+	return true
+}
+
+// size is compile-time only: exempt from the guard requirement.
+func size() uintptr {
+	return unsafe.Sizeof(int64(0))
+}

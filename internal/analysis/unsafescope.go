@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// UnsafeAllowlist names the packages permitted to import unsafe. The
+// zero-copy reinterprets over mmapped .swdb images live in exactly two
+// places — the alphabet code views and the index blob decoder — and every
+// other package must stay in the safe subset. Tests may extend this list
+// to admit fixture packages.
+var UnsafeAllowlist = []string{
+	"heterosw/internal/alphabet",
+	"heterosw/internal/seqdb/index",
+}
+
+// Unsafescope confines unsafe to the allowlisted packages and requires
+// every reinterpret (unsafe.Pointer conversions, unsafe.String/Slice/
+// SliceData/StringData/Add) to share a function with a length or capacity
+// validation — a len() or cap() call the bounds check is derived from.
+// Compile-time queries (Sizeof, Alignof, Offsetof) are exempt.
+var Unsafescope = &Analyzer{
+	Name: "unsafescope",
+	Doc:  "confine unsafe to allowlisted packages and guarded functions",
+	Run:  runUnsafescope,
+}
+
+func runUnsafescope(pass *Pass) error {
+	allowed := false
+	for _, p := range UnsafeAllowlist {
+		if pass.Pkg.Path() == p {
+			allowed = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil && path == "unsafe" && !allowed {
+				pass.Reportf(spec.Pos(), "unsafe imported outside the allowlist (%v)", UnsafeAllowlist)
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkUnsafeFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// reinterpretOps are the unsafe operations that reinterpret memory at
+// run time and therefore demand a same-function bounds validation.
+var reinterpretOps = map[string]bool{
+	"Pointer":    true,
+	"String":     true,
+	"StringData": true,
+	"Slice":      true,
+	"SliceData":  true,
+	"Add":        true,
+}
+
+func checkUnsafeFunc(pass *Pass, fn *ast.FuncDecl) {
+	var uses []*ast.SelectorExpr
+	guarded := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isUnsafeSelector(pass.Info, n) && reinterpretOps[n.Sel.Name] {
+				uses = append(uses, n)
+			}
+		case *ast.CallExpr:
+			if IsBuiltin(pass.Info, n, "len") || IsBuiltin(pass.Info, n, "cap") {
+				guarded = true
+			}
+		}
+		return true
+	})
+	if guarded {
+		return
+	}
+	for _, sel := range uses {
+		pass.Reportf(sel.Pos(), "unsafe.%s without a len/cap bounds validation in %s", sel.Sel.Name, fn.Name.Name)
+	}
+}
+
+// isUnsafeSelector reports whether sel is a reference through the unsafe
+// package (unsafe.Pointer, unsafe.String, ...).
+func isUnsafeSelector(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "unsafe"
+}

@@ -34,7 +34,11 @@ type Backend interface {
 	// Search runs the single-device Algorithm 1 over db. Implementations
 	// must be safe for concurrent calls and should cache per-database
 	// pre-processing (lane packings) so batched queries amortise it.
-	Search(db *seqdb.Database, query *sequence.Sequence, opt SearchOptions) (*Result, error)
+	// ctx is the request's context: remote backends pass it through to
+	// the wire so a cancelled search stops burning node time; local
+	// backends may only check it between chunks (kernels are
+	// uncancellable mid-column).
+	Search(ctx context.Context, db *seqdb.Database, query *sequence.Sequence, opt SearchOptions) (*Result, error)
 }
 
 // EngineBackend is the stock Backend: it wraps Engine and caches one
@@ -92,8 +96,13 @@ func (b *EngineBackend) Threads() int { return b.threads }
 const maxCachedEngines = 512
 
 // Search implements Backend, caching one engine per database identity
-// (see engineKey).
-func (b *EngineBackend) Search(db *seqdb.Database, query *sequence.Sequence, opt SearchOptions) (*Result, error) {
+// (see engineKey). The engine computation itself is uncancellable; ctx is
+// honoured at the call boundary so an already-dead request never launches
+// kernels.
+func (b *EngineBackend) Search(ctx context.Context, db *seqdb.Database, query *sequence.Sequence, opt SearchOptions) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := engineKey(db)
 	b.mu.Lock()
 	eng, ok := b.engines[key]
@@ -231,14 +240,14 @@ type Dispatcher struct {
 	owner []shardRef
 
 	mu         sync.Mutex
-	shards     map[string]*shardSet
-	chunks     map[chunkKey]*chunkSet
-	plans      map[string]*Plan
-	autoShares map[string][]float64
+	shards     map[string]*shardSet   //sw:guardedBy(mu)
+	chunks     map[chunkKey]*chunkSet //sw:guardedBy(mu)
+	plans      map[string]*Plan       //sw:guardedBy(mu)
+	autoShares map[string][]float64   //sw:guardedBy(mu)
 
 	totalsMu sync.Mutex
-	queries  int64
-	totals   []BackendTotals
+	queries  int64           //sw:guardedBy(totalsMu)
+	totals   []BackendTotals //sw:guardedBy(totalsMu)
 }
 
 // shardSet is one cached static split.
@@ -578,9 +587,18 @@ func backendOpt(opt SearchOptions, b Backend) SearchOptions {
 }
 
 // Search distributes one query over the cluster and merges the score
-// lists into caller order — Algorithm 2 with N devices.
+// lists into caller order — Algorithm 2 with N devices. It is the
+// context-free convenience root; serving paths use SearchContext.
+//
+//sw:ctxroot
 func (d *Dispatcher) Search(query *sequence.Sequence, opt DispatchOptions) (*ClusterResult, error) {
-	res, err := d.SearchBatch([]*sequence.Sequence{query}, opt)
+	return d.SearchContext(context.Background(), query, opt)
+}
+
+// SearchContext is Search with cancellation (see SearchBatchContext for
+// the semantics).
+func (d *Dispatcher) SearchContext(ctx context.Context, query *sequence.Sequence, opt DispatchOptions) (*ClusterResult, error) {
+	res, err := d.SearchBatchContext(ctx, []*sequence.Sequence{query}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -591,7 +609,10 @@ func (d *Dispatcher) Search(query *sequence.Sequence, opt DispatchOptions) (*Clu
 // (or chunk partition) is resolved once for the whole batch and every
 // backend engine caches its lane packings, so per-query work reduces to
 // the query-profile setup and the kernels themselves. With model-balanced
-// static shares the split is derived from the mean query length.
+// static shares the split is derived from the mean query length. It is
+// the context-free convenience root; serving paths use SearchBatchContext.
+//
+//sw:ctxroot
 func (d *Dispatcher) SearchBatch(queries []*sequence.Sequence, opt DispatchOptions) ([]*ClusterResult, error) {
 	return d.SearchBatchContext(context.Background(), queries, opt)
 }
@@ -619,7 +640,9 @@ func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence
 			return nil, fmt.Errorf("core: %v distribution over a fixed shard assignment (only static is valid)", opt.Dist)
 		}
 		set := d.fixed
-		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchStatic(q, opt, set) }
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) {
+			return d.searchStatic(ctx, q, opt, set)
+		}
 	case opt.Dist == DistStatic:
 		meanLen := 0
 		for _, q := range queries {
@@ -631,10 +654,14 @@ func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence
 			return nil, err
 		}
 		set := d.shardsFor(shares)
-		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchStatic(q, opt, set) }
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) {
+			return d.searchStatic(ctx, q, opt, set)
+		}
 	case opt.Dist == DistDynamic || opt.Dist == DistGuided:
 		set := d.chunksFor(opt)
-		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) { return d.searchDynamic(q, opt, set) }
+		search = func(q *sequence.Sequence) (*ClusterResult, totalsDelta, error) {
+			return d.searchDynamic(ctx, q, opt, set)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown distribution %v", opt.Dist)
 	}
@@ -663,7 +690,7 @@ func (d *Dispatcher) SearchBatchContext(ctx context.Context, queries []*sequence
 // pair generalises to one signal per backend) and merges by shard index
 // maps. Backends with empty shards are skipped entirely, exactly as
 // Algorithm 2 degenerates to Algorithm 1 at a 0% coprocessor share.
-func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions, set *shardSet) (*ClusterResult, totalsDelta, error) {
+func (d *Dispatcher) searchStatic(ctx context.Context, query *sequence.Sequence, opt DispatchOptions, set *shardSet) (*ClusterResult, totalsDelta, error) {
 	n := len(d.backends)
 	results := make([]*Result, n)
 	errs := make([]error, n)
@@ -675,7 +702,7 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 		}
 		i, b := i, b
 		sigs[i] = offload.Start(func() {
-			results[i], errs[i] = b.Search(set.dbs[i], query, backendOpt(opt.Search, b))
+			results[i], errs[i] = b.Search(ctx, set.dbs[i], query, backendOpt(opt.Search, b))
 		})
 	}
 	for _, sig := range sigs {
@@ -732,7 +759,7 @@ func (d *Dispatcher) searchStatic(query *sequence.Sequence, opt DispatchOptions,
 // come from the deterministic device-level schedule replay (Plan), keeping
 // simulated results independent of host timing jitter exactly as
 // internal/sched separates Parallel from Simulate.
-func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions, set *chunkSet) (*ClusterResult, totalsDelta, error) {
+func (d *Dispatcher) searchDynamic(ctx context.Context, query *sequence.Sequence, opt DispatchOptions, set *chunkSet) (*ClusterResult, totalsDelta, error) {
 	n := len(d.backends)
 	scores := make([]int32, d.db.Len())
 	statsPer := make([]Stats, n)
@@ -759,11 +786,15 @@ func (d *Dispatcher) searchDynamic(query *sequence.Sequence, opt DispatchOptions
 		sigs[i] = offload.Start(func() {
 			bopt := backendOpt(opt.Search, b)
 			for {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
 				c := pop()
 				if c < 0 {
 					return
 				}
-				r, err := b.Search(set.dbs[c], query, bopt)
+				r, err := b.Search(ctx, set.dbs[c], query, bopt)
 				if err != nil {
 					errs[i] = err
 					return

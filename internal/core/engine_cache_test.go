@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func TestEngineCacheSharesByKey(t *testing.T) {
 
 	var want *Result
 	for i, db := range []*seqdb.Database{keyedA, keyedB} {
-		res, err := b.Search(db, query, opt)
+		res, err := b.Search(context.Background(), db, query, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestEngineCacheSharesByKey(t *testing.T) {
 	}
 
 	for _, db := range []*seqdb.Database{plainA, plainB} {
-		if _, err := b.Search(db, query, opt); err != nil {
+		if _, err := b.Search(context.Background(), db, query, opt); err != nil {
 			t.Fatal(err)
 		}
 	}

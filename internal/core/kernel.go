@@ -145,6 +145,7 @@ func NewBuffers(lanes int) *Buffers {
 	return b
 }
 
+//sw:hotpath
 func grow8(p *[]uint8, n int) []uint8 {
 	if cap(*p) < n {
 		*p = make([]uint8, n)
@@ -152,6 +153,7 @@ func grow8(p *[]uint8, n int) []uint8 {
 	return (*p)[:n]
 }
 
+//sw:hotpath
 func grow16(p *[]int16, n int) []int16 {
 	if cap(*p) < n {
 		*p = make([]int16, n)
@@ -159,6 +161,7 @@ func grow16(p *[]int16, n int) []int16 {
 	return (*p)[:n]
 }
 
+//sw:hotpath
 func grow32(p *[]int32, n int) []int32 {
 	if cap(*p) < n {
 		*p = make([]int32, n)

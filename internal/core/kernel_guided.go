@@ -16,6 +16,8 @@ import (
 // DP matrix make the single-tile case degenerate correctly: the boundary
 // arrays start at H[0][j] = 0 and F = -inf and are only consumed where a
 // previous tile's last row would be.
+//
+//sw:hotpath
 func alignGroupGuided(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([]int32, Stats) {
 	L := g.Lanes
 	M := q.Len()

@@ -16,6 +16,8 @@ import (
 //
 // The tile driver is identical to the guided kernel's; see
 // alignGroupGuided for the boundary hand-off invariants.
+//
+//sw:hotpath
 func alignGroupIntrinsic(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([]int32, Stats) {
 	L := g.Lanes
 	M := q.Len()

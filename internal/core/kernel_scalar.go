@@ -13,6 +13,8 @@ const negInf32 = int32(-(1 << 29))
 // recomputation path for lanes that saturate 16-bit arithmetic. h and e
 // must have at least len(q.Seq)+1 entries: h carries the previous column's
 // H values per query row, e the database-direction gap state per query row.
+//
+//sw:hotpath
 func scalarLane(q *profile.Query, g *seqdb.LaneGroup, lane int, p Params, h, e []int32) int32 {
 	m := q.Len()
 	n := g.Lens[lane]
@@ -76,6 +78,8 @@ func scalarLane(q *profile.Query, g *seqdb.LaneGroup, lane int, p Params, h, e [
 // value reports whether the running maximum reached the int16 ceiling, in
 // which case the score may be clipped and the caller must recompute at 32
 // bits. h and e need len(q.Seq)+1 entries.
+//
+//sw:hotpath
 func scalarLane16(q *profile.Query, g *seqdb.LaneGroup, lane int, p Params, h, e []int16) (int32, bool) {
 	m := q.Len()
 	n := g.Lens[lane]
@@ -140,6 +144,8 @@ func scalarLane16(q *profile.Query, g *seqdb.LaneGroup, lane int, p Params, h, e
 // alignGroupScalar is the no-vec kernel: each lane of the group is aligned
 // sequentially with scalar arithmetic. Padding never enters the loop, so
 // PaddedCells equals Cells.
+//
+//sw:hotpath
 func alignGroupScalar(q *profile.Query, g *seqdb.LaneGroup, p Params) ([]int32, Stats) {
 	scores := make([]int32, g.Lanes)
 	m := q.Len()

@@ -27,6 +27,8 @@ const stripedLanes = 16
 // for every residue index e, t stripe vectors of V(e, q[k*t+i]) with
 // padding positions scoring profile.PadScore. Layout:
 // prof[((e*t)+i)*L + k].
+//
+//sw:hotpath
 func stripedProfile(q *profile.Query, dst []int16, t int) []int16 {
 	L := stripedLanes
 	need := q.Width * t * L
@@ -77,6 +79,8 @@ func alignPairStriped(q *profile.Query, subject []alphabet.Code, p Params, buf *
 // alignPairStriped16 is the 16-bit striped pass; the second return value
 // reports int16 saturation (the score may be clipped and the caller must
 // recompute at 32 bits).
+//
+//sw:hotpath
 func alignPairStriped16(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) (int32, bool) {
 	m := q.Len()
 	n := len(subject)
@@ -176,6 +180,8 @@ func alignPairStriped16(q *profile.Query, subject []alphabet.Code, p Params, buf
 // requested first-pass precision, escalating on saturation — 8-bit striped
 // to 16-bit striped to the 32-bit anti-diagonal kernel — and folding the
 // per-tier escalation counts and recomputation cells into st.
+//
+//sw:hotpath
 func alignPairStripedLadder(q *profile.Query, subject []alphabet.Code, p Params, prec8 bool, buf *Buffers, st *Stats) int32 {
 	m := q.Len()
 	cells := int64(m) * int64(len(subject))
@@ -203,6 +209,8 @@ const stripedLanes8 = 32
 // stripedProfile8 builds the biased uint8 striped query profile; padding
 // positions hold 0, the strongest representable penalty. Layout matches
 // stripedProfile. Only valid when q.Bias8Viable().
+//
+//sw:hotpath
 func stripedProfile8(q *profile.Query, dst []uint8, t int) []uint8 {
 	L := stripedLanes8
 	need := q.Width * t * L
@@ -252,6 +260,8 @@ func clampU8(v int) uint8 {
 // for the soundness argument). The second return value reports biased-rail
 // saturation, in which case the caller escalates to the 16-bit striped
 // pass. Only valid when q.Bias8Viable().
+//
+//sw:hotpath
 func alignPairStriped8(q *profile.Query, subject []alphabet.Code, p Params, buf *Buffers) (int32, bool) {
 	m := q.Len()
 	n := len(subject)

@@ -51,6 +51,8 @@ func ladderSafe8(q *profile.Query, n int) bool {
 //
 // Callers must ensure q.Bias8Viable(); AlignGroup falls back to the 16-bit
 // kernel otherwise.
+//
+//sw:hotpath
 func alignGroupIntrinsic8(q *profile.Query, g *seqdb.LaneGroup, p Params, buf *Buffers) ([]int32, Stats) {
 	L := g.Lanes
 	M := q.Len()

@@ -201,6 +201,8 @@ func (sr *ScoreRows) Lanes() int { return sr.lanes }
 // — dispatches through vec.BuildRows16, which uses hardware gathers when
 // the native backend is selected (Ext carries the required spare
 // capacity) and a lane-major strided walk otherwise.
+//
+//sw:hotpath
 func (sr *ScoreRows) Build(q *Query, residues []uint8) {
 	n := q.Width * sr.lanes
 	if cap(sr.rows) < n {
@@ -234,6 +236,8 @@ func NewScoreRows8(lanes int) *ScoreRows8 {
 
 // Build fills the biased score rows for the current column's lane residues
 // from the query's Ext8 table; only valid when q.Bias8Viable().
+//
+//sw:hotpath
 func (sr *ScoreRows8) Build(q *Query, residues []uint8) {
 	n := q.Width * sr.lanes
 	if cap(sr.rows) < n {

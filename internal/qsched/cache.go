@@ -10,11 +10,16 @@ import (
 // every stream), so repeated queries are free no matter which path they
 // arrive on. Values are shared on hit: treat them as read-only.
 type Cache[R any] struct {
-	mu     sync.Mutex
-	max    int
-	ll     *list.List // front = most recent
-	byKey  map[string]*list.Element
-	hits   int64
+	mu  sync.Mutex
+	max int
+	// front = most recent
+	//sw:guardedBy(mu)
+	ll *list.List
+	//sw:guardedBy(mu)
+	byKey map[string]*list.Element
+	//sw:guardedBy(mu)
+	hits int64
+	//sw:guardedBy(mu)
 	misses int64
 }
 

@@ -158,17 +158,21 @@ type Scheduler[Q, R any] struct {
 	slots  chan struct{} // counting semaphore: len == batches in flight
 
 	mu         sync.Mutex
-	queue      []*job[Q, R]
-	pending    map[string]*Ticket[R]
-	collecting bool
-	closed     bool
-	stats      Stats
+	queue      []*job[Q, R]          //sw:guardedBy(mu)
+	pending    map[string]*Ticket[R] //sw:guardedBy(mu)
+	collecting bool                  //sw:guardedBy(mu)
+	closed     bool                  //sw:guardedBy(mu)
+	stats      Stats                 //sw:guardedBy(mu)
 }
 
 // New builds a scheduler over a batch function. key derives the cache /
 // dedup key of a query (nil, or a false second return, disables caching
 // for that query); cache may be nil (no caching) or shared between
-// schedulers.
+// schedulers. The scheduler's context is its own lifetime root — it is
+// cancelled by Close/CloseNow, not by any request — while per-request
+// cancellation rides on the context each Ticket.Wait receives.
+//
+//sw:ctxroot
 func New[Q, R any](
 	run func(ctx context.Context, batch []Q) ([]R, error),
 	key func(q Q) (string, bool),

@@ -60,10 +60,8 @@ func residueBytes(codes []alphabet.Code) []byte {
 // options — the coordinator ships the query, not the search parameters —
 // so operators must configure nodes and coordinator identically (see the
 // README's distributed serving contract).
-func (b *Backend) Search(db *seqdb.Database, query *sequence.Sequence, opt core.SearchOptions) (*core.Result, error) {
-	// No caller context reaches core.Backend (local backends are equally
-	// uncancellable mid-chunk); per-attempt timeouts bound the call.
-	resp, err := b.client.ShardSearch(context.Background(), b.urls, &ShardSearchRequest{
+func (b *Backend) Search(ctx context.Context, db *seqdb.Database, query *sequence.Sequence, opt core.SearchOptions) (*core.Result, error) {
+	resp, err := b.client.ShardSearch(ctx, b.urls, &ShardSearchRequest{
 		Shard: db.Key(),
 		ID:    query.ID,
 		Codes: residueBytes(query.Residues),

@@ -49,6 +49,7 @@ func StepCol16SP(h, e, f, diag, maxv I16, score []int16, seq []uint8, rows, lane
 	stepCol16SPGeneric(h, e, f, diag, maxv, score, seq, rows, lanes, qr, r)
 }
 
+//sw:hotpath
 func stepCol16SPGeneric(h, e, f, diag, maxv I16, score []int16, seq []uint8, rows, lanes int, qr, r int16) {
 	for ri := 0; ri < rows; ri++ {
 		hrow := h[ri*lanes : (ri+1)*lanes]
@@ -117,6 +118,7 @@ func StepCol16QP(h, e, f, diag, maxv I16, qp []int16, stride int, col []uint8, r
 	stepCol16QPGeneric(h, e, f, diag, maxv, qp, stride, col, rows, lanes, qr, r)
 }
 
+//sw:hotpath
 func stepCol16QPGeneric(h, e, f, diag, maxv I16, qp []int16, stride int, col []uint8, rows, lanes int, qr, r int16) {
 	for ri := 0; ri < rows; ri++ {
 		hrow := h[ri*lanes : (ri+1)*lanes]
@@ -182,6 +184,7 @@ func StepCol8SP(h, e, f, diag, maxv U8, score []uint8, seq []uint8, rows, lanes 
 	stepCol8SPGeneric(h, e, f, diag, maxv, score, seq, rows, lanes, bias, qr, r)
 }
 
+//sw:hotpath
 func stepCol8SPGeneric(h, e, f, diag, maxv U8, score []uint8, seq []uint8, rows, lanes int, bias, qr, r uint8) {
 	for ri := 0; ri < rows; ri++ {
 		hrow := h[ri*lanes : (ri+1)*lanes]
@@ -252,6 +255,7 @@ func StepCol8QP(h, e, f, diag, maxv U8, qp []uint8, stride int, col []uint8, row
 	stepCol8QPGeneric(h, e, f, diag, maxv, qp, stride, col, rows, lanes, bias, qr, r)
 }
 
+//sw:hotpath
 func stepCol8QPGeneric(h, e, f, diag, maxv U8, qp []uint8, stride int, col []uint8, rows, lanes int, bias, qr, r uint8) {
 	for ri := 0; ri < rows; ri++ {
 		hrow := h[ri*lanes : (ri+1)*lanes]
@@ -317,6 +321,7 @@ func BuildRows16(dst, table []int16, idx []uint8, nrows, lanes, stride int) {
 	buildRows16Generic(dst, table, idx, nrows, lanes, stride)
 }
 
+//sw:hotpath
 func buildRows16Generic(dst, table []int16, idx []uint8, nrows, lanes, stride int) {
 	// Walk lane-major: each lane copies one strided column of the table,
 	// the transposition the real SP code performs with vector inserts.
@@ -339,6 +344,7 @@ func BuildRows8(dst, table, idx []uint8, nrows, lanes, stride int) {
 	buildRows8Generic(dst, table, idx, nrows, lanes, stride)
 }
 
+//sw:hotpath
 func buildRows8Generic(dst, table, idx []uint8, nrows, lanes, stride int) {
 	for l, d := range idx[:lanes] {
 		src := table[int(d):]

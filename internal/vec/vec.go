@@ -65,6 +65,7 @@ func AddSat(dst, a, b I16) {
 	addSatGeneric(dst, a, b)
 }
 
+//sw:hotpath
 func addSatGeneric(dst, a, b I16) {
 	for l := range dst {
 		dst[l] = sat(int32(a[l]) + int32(b[l]))
@@ -81,6 +82,7 @@ func SubSatConst(dst, a I16, c int16) {
 	subSatConstGeneric(dst, a, c)
 }
 
+//sw:hotpath
 func subSatConstGeneric(dst, a I16, c int16) {
 	for l := range dst {
 		dst[l] = sat(int32(a[l]) - int32(c))
@@ -96,6 +98,7 @@ func Max(dst, a, b I16) {
 	maxGeneric(dst, a, b)
 }
 
+//sw:hotpath
 func maxGeneric(dst, a, b I16) {
 	for l := range dst {
 		if a[l] > b[l] {
@@ -115,6 +118,7 @@ func MaxConst(dst, a I16, c int16) {
 	maxConstGeneric(dst, a, c)
 }
 
+//sw:hotpath
 func maxConstGeneric(dst, a I16, c int16) {
 	for l := range dst {
 		if a[l] > c {
@@ -135,6 +139,7 @@ func MaxInto(dst, a I16) {
 	maxIntoGeneric(dst, a)
 }
 
+//sw:hotpath
 func maxIntoGeneric(dst, a I16) {
 	for l := range dst {
 		if a[l] > dst[l] {
@@ -152,6 +157,7 @@ func Set1(dst I16, c int16) {
 	set1Generic(dst, c)
 }
 
+//sw:hotpath
 func set1Generic(dst I16, c int16) {
 	for l := range dst {
 		dst[l] = c
@@ -174,6 +180,7 @@ func Gather(dst I16, table []int16, idx []uint8) {
 	gatherGeneric(dst, table, idx)
 }
 
+//sw:hotpath
 func gatherGeneric(dst I16, table []int16, idx []uint8) {
 	for l := range dst {
 		dst[l] = table[idx[l]]
@@ -189,6 +196,7 @@ func HorizontalMax(a I16) int16 {
 	return horizontalMaxGeneric(a)
 }
 
+//sw:hotpath
 func horizontalMaxGeneric(a I16) int16 {
 	m := a[0]
 	for _, v := range a[1:] {
@@ -208,6 +216,7 @@ func AnyGE(a I16, threshold int16) bool {
 	return anyGEGeneric(a, threshold)
 }
 
+//sw:hotpath
 func anyGEGeneric(a I16, threshold int16) bool {
 	for _, v := range a {
 		if v >= threshold {
@@ -226,6 +235,7 @@ func AnyGT(a, b I16) bool {
 	return anyGTGeneric(a, b)
 }
 
+//sw:hotpath
 func anyGTGeneric(a, b I16) bool {
 	for l := range a {
 		if a[l] > b[l] {
@@ -263,6 +273,7 @@ func AddSatU8(dst, a, b U8) {
 	addSatU8Generic(dst, a, b)
 }
 
+//sw:hotpath
 func addSatU8Generic(dst, a, b U8) {
 	for l := range dst {
 		v := uint16(a[l]) + uint16(b[l])
@@ -283,6 +294,7 @@ func SubSatU8Const(dst, a U8, c uint8) {
 	subSatU8ConstGeneric(dst, a, c)
 }
 
+//sw:hotpath
 func subSatU8ConstGeneric(dst, a U8, c uint8) {
 	for l := range dst {
 		if a[l] > c {
@@ -302,6 +314,7 @@ func MaxU8s(dst, a, b U8) {
 	maxU8sGeneric(dst, a, b)
 }
 
+//sw:hotpath
 func maxU8sGeneric(dst, a, b U8) {
 	for l := range dst {
 		if a[l] > b[l] {

@@ -199,6 +199,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError is the central error -> HTTP response mapper: the one place
+// allowed to render err.Error() into a body, so wire formats and status
+// mapping stay consistent across handlers.
+//
+//sw:errmapper
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
@@ -369,11 +374,11 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var res *ClusterResult
 	switch {
 	case req.Translate && req.Matrix != "":
-		res, err = s.c.SearchTranslatedMatrix(q, req.Matrix, rep)
+		res, err = s.c.SearchTranslatedMatrixContext(r.Context(), q, req.Matrix, rep)
 	case req.Translate:
-		res, err = s.c.SearchTranslated(q, rep)
+		res, err = s.c.SearchTranslatedContext(r.Context(), q, rep)
 	case req.Matrix != "":
-		res, err = s.c.SearchMatrix(q, req.Matrix, rep)
+		res, err = s.c.SearchMatrixContext(r.Context(), q, req.Matrix, rep)
 	default:
 		res, err = s.c.SearchScheduled(r.Context(), q, rep)
 	}

@@ -59,14 +59,24 @@ type Stream struct {
 	// however far the producer runs ahead of the Results consumer.
 	window int
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	waiting    []reportQuery // submitted, not yet handed to the scheduler
-	subs       []streamSub   // in the scheduler, awaiting ordered delivery
-	closed     bool          // no further Submits (Close, CloseNow or ctx cancel)
-	aborted    bool          // CloseNow / ctx cancel: drop instead of drain
+	mu   sync.Mutex
+	cond *sync.Cond
+	// submitted, not yet handed to the scheduler
+	//sw:guardedBy(mu)
+	waiting []reportQuery
+	// in the scheduler, awaiting ordered delivery
+	//sw:guardedBy(mu)
+	subs []streamSub
+	// no further Submits (Close, CloseNow or ctx cancel)
+	//sw:guardedBy(mu)
+	closed bool
+	// CloseNow / ctx cancel: drop instead of drain
+	//sw:guardedBy(mu)
+	aborted bool
+	//sw:guardedBy(mu)
 	delivering bool
-	outClosed  bool
+	//sw:guardedBy(mu)
+	outClosed bool
 }
 
 // NewStream opens a streaming session over the cluster. The session
@@ -102,6 +112,8 @@ func (c *Cluster) NewStream(ctx context.Context) *Stream {
 
 // forwardLocked hands waiting queries to the scheduler while delivery
 // slots are free. Callers hold st.mu.
+//
+//sw:locked(mu)
 func (st *Stream) forwardLocked() {
 	for len(st.waiting) > 0 && len(st.subs) < st.window && !st.aborted {
 		rq := st.waiting[0]
@@ -267,7 +279,10 @@ func (st *Stream) deliver() {
 // defaultStream returns the cluster's lazily created compatibility stream
 // backing Cluster.Submit/Results/Close. If Close or CloseNow ran before
 // the stream existed, it is created already closed (respectively aborted),
-// so Submit fails and Results is closed.
+// so Submit fails and Results is closed. The stream lives for the
+// cluster's lifetime, not any one request's, so it roots its own context.
+//
+//sw:ctxroot
 func (c *Cluster) defaultStream() *Stream {
 	c.mu.Lock()
 	if c.defStream == nil {

@@ -21,24 +21,42 @@ import (
 // on the original query (HitAlignment.QueryDNAStart/End).
 //
 // The query must be a DNA sequence (NewDNASequence, ReadDNAFASTA) and the
-// database a protein one.
+// database a protein one. It is the context-free convenience root;
+// cancellable callers use SearchTranslatedContext.
+//
+//sw:ctxroot
 func (c *Cluster) SearchTranslated(query Sequence, report ...ReportOptions) (*ClusterResult, error) {
-	return c.searchTranslated(query, c.dopt, report)
+	return c.searchTranslated(context.Background(), query, c.dopt, report)
+}
+
+// SearchTranslatedContext is SearchTranslated with cancellation: ctx is
+// checked at every frame boundary of the batched score pass and threaded
+// through the per-frame traceback fan-out.
+func (c *Cluster) SearchTranslatedContext(ctx context.Context, query Sequence, report ...ReportOptions) (*ClusterResult, error) {
+	return c.searchTranslated(ctx, query, c.dopt, report)
 }
 
 // SearchTranslatedMatrix is SearchTranslated with a request-scoped
 // substitution matrix, parsed from NCBI-format text against the protein
 // alphabet the frame queries score under (see SearchMatrix). Parse
 // failures wrap ErrBadMatrix.
+//
+//sw:ctxroot
 func (c *Cluster) SearchTranslatedMatrix(query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
+	return c.SearchTranslatedMatrixContext(context.Background(), query, matrixText, report...)
+}
+
+// SearchTranslatedMatrixContext is SearchTranslatedMatrix with
+// cancellation (see SearchTranslatedContext for the semantics).
+func (c *Cluster) SearchTranslatedMatrixContext(ctx context.Context, query Sequence, matrixText string, report ...ReportOptions) (*ClusterResult, error) {
 	dopt, err := c.doptWithMatrix(matrixText)
 	if err != nil {
 		return nil, err
 	}
-	return c.searchTranslated(query, dopt, report)
+	return c.searchTranslated(ctx, query, dopt, report)
 }
 
-func (c *Cluster) searchTranslated(query Sequence, dopt core.DispatchOptions, report []ReportOptions) (*ClusterResult, error) {
+func (c *Cluster) searchTranslated(ctx context.Context, query Sequence, dopt core.DispatchOptions, report []ReportOptions) (*ClusterResult, error) {
 	rep, err := oneReport(report)
 	if err != nil {
 		return nil, err
@@ -73,7 +91,6 @@ func (c *Cluster) searchTranslated(query Sequence, dopt core.DispatchOptions, re
 		return nil, fmt.Errorf("heterosw: query %s is too short to translate (%d nt)",
 			query.ID(), query.Len())
 	}
-	ctx := context.Background()
 	res, err := c.disp.SearchBatchContext(ctx, impls, dopt)
 	if err != nil {
 		return nil, err
