@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"heterosw/internal/core"
@@ -263,6 +264,17 @@ type reportQuery struct {
 	rep ReportOptions
 }
 
+// engineState is one immutable topology generation: the dispatcher and
+// the per-backend roster labels, always read together. See Cluster.eng.
+type engineState struct {
+	disp  *core.Dispatcher
+	kinds []DeviceKind
+}
+
+// engine snapshots the cluster's current engine. Callers must hold the
+// returned snapshot for the whole operation instead of re-loading.
+func (c *Cluster) engine() *engineState { return c.eng.Load() }
+
 // BackendTotals is one backend's cumulative accounting across every search
 // the cluster has completed, whichever concurrent batch or stream it
 // arrived on.
@@ -289,10 +301,22 @@ type BackendTotals struct {
 // pre-processing, and the scheduled paths share one LRU result cache so
 // repeated queries are free.
 type Cluster struct {
-	db    *Database
-	disp  *core.Dispatcher
-	dopt  core.DispatchOptions
-	kinds []DeviceKind
+	db   *Database
+	dopt core.DispatchOptions
+
+	// eng is the cluster's current engine: the dispatcher plus the roster
+	// labels its reports carry, bundled so a topology swap replaces both
+	// atomically. Every search path snapshots it exactly once and threads
+	// the snapshot through scoring, wrapping and decoration — a manifest
+	// hot-reload racing an in-flight query can therefore never tear a
+	// response or mismatch a result against the wrong roster. Local
+	// clusters store it once at construction and never again.
+	eng atomic.Pointer[engineState]
+
+	// topo is the live-topology controller of a distributed coordinator
+	// (health prober, replica sets, manifest hot-reload); nil for local
+	// clusters.
+	topo *liveTopology
 
 	schedOpt qsched.Options
 	cache    *qsched.Cache[*ClusterResult]
@@ -363,9 +387,7 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 		cacheSize = defaultCacheSize(db.Len())
 	}
 	c := &Cluster{
-		db:    db,
-		disp:  disp,
-		kinds: kinds,
+		db: db,
 		dopt: core.DispatchOptions{
 			Search:        search,
 			Dist:          d,
@@ -379,6 +401,7 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 		},
 		cache: qsched.NewCache[*ClusterResult](cacheSize),
 	}
+	c.eng.Store(&engineState{disp: disp, kinds: kinds})
 	// The cache key pairs the query residues with every option that can
 	// change a result; within one cluster the options are fixed, so the
 	// fingerprint is a constant prefix.
@@ -387,9 +410,12 @@ func NewCluster(db *Database, opt ClusterOptions) (*Cluster, error) {
 }
 
 // Devices returns the cluster's roster.
-func (c *Cluster) Devices() []DeviceKind { return append([]DeviceKind(nil), c.kinds...) }
+func (c *Cluster) Devices() []DeviceKind {
+	e := c.engine()
+	return append([]DeviceKind(nil), e.kinds...)
+}
 
-func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
+func (c *Cluster) wrap(e *engineState, r *core.ClusterResult) *ClusterResult {
 	out := &ClusterResult{
 		Result:   *wrapResult(&r.Result),
 		Backends: make([]BackendReport, len(r.PerBackend)),
@@ -397,7 +423,7 @@ func (c *Cluster) wrap(r *core.ClusterResult) *ClusterResult {
 	for i, st := range r.PerBackend {
 		out.Backends[i] = BackendReport{
 			Name:       st.Name,
-			Device:     c.kinds[i],
+			Device:     e.kinds[i],
 			Share:      st.Share,
 			Chunks:     st.Chunks,
 			SimSeconds: st.SimSeconds,
@@ -435,12 +461,13 @@ func (c *Cluster) SearchContext(ctx context.Context, query Sequence, report ...R
 	if query.impl == nil {
 		return nil, fmt.Errorf("heterosw: zero-value query")
 	}
-	res, err := c.disp.SearchContext(ctx, query.impl, c.dopt)
+	e := c.engine()
+	res, err := e.disp.SearchContext(ctx, query.impl, c.dopt)
 	if err != nil {
 		return nil, err
 	}
-	out := c.wrap(res)
-	if err := c.decorate(ctx, query, out, rep, c.dopt); err != nil {
+	out := c.wrap(e, res)
+	if err := c.decorate(ctx, e, query, out, rep, c.dopt); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -475,12 +502,13 @@ func (c *Cluster) SearchMatrixContext(ctx context.Context, query Sequence, matri
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.disp.SearchContext(ctx, query.impl, dopt)
+	e := c.engine()
+	res, err := e.disp.SearchContext(ctx, query.impl, dopt)
 	if err != nil {
 		return nil, err
 	}
-	out := c.wrap(res)
-	if err := c.decorate(ctx, query, out, rep, dopt); err != nil {
+	out := c.wrap(e, res)
+	if err := c.decorate(ctx, e, query, out, rep, dopt); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -543,14 +571,15 @@ func (c *Cluster) searchBatchCtx(ctx context.Context, rqs []reportQuery) ([]*Clu
 	for i, rq := range rqs {
 		impls[i] = rq.seq.impl
 	}
-	res, err := c.disp.SearchBatchContext(ctx, impls, c.dopt)
+	e := c.engine()
+	res, err := e.disp.SearchBatchContext(ctx, impls, c.dopt)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*ClusterResult, len(res))
 	for i, r := range res {
-		out[i] = c.wrap(r)
-		if err := c.decorate(ctx, rqs[i].seq, out[i], rqs[i].rep, c.dopt); err != nil {
+		out[i] = c.wrap(e, r)
+		if err := c.decorate(ctx, e, rqs[i].seq, out[i], rqs[i].rep, c.dopt); err != nil {
 			return nil, err
 		}
 	}
@@ -560,8 +589,10 @@ func (c *Cluster) searchBatchCtx(ctx context.Context, rqs []reportQuery) ([]*Clu
 // decorate runs the reporting phases over a freshly wrapped result: the
 // per-call hit truncation, the significance fit and the traceback fan-out.
 // It must only ever see results this call owns — cached results are
-// decorated before they enter the cache, never after.
-func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResult, rep ReportOptions, dopt core.DispatchOptions) error {
+// decorated before they enter the cache, never after. e must be the same
+// engine snapshot that scored the result, so the traceback fan-out routes
+// over the topology generation the scores came from.
+func (c *Cluster) decorate(ctx context.Context, e *engineState, query Sequence, res *ClusterResult, rep ReportOptions, dopt core.DispatchOptions) error {
 	if rep == (ReportOptions{}) {
 		return nil
 	}
@@ -602,7 +633,7 @@ func (c *Cluster) decorate(ctx context.Context, query Sequence, res *ClusterResu
 			h := res.Hits[i]
 			hits[i] = core.Hit{SeqIndex: h.Index, ID: h.ID, Score: int32(h.Score)}
 		}
-		details, err := c.disp.AlignHits(ctx, query.impl, hits, dopt)
+		details, err := e.disp.AlignHits(ctx, query.impl, hits, dopt)
 		if err != nil {
 			return err
 		}
@@ -711,12 +742,13 @@ func (c *Cluster) SearchScheduled(ctx context.Context, query Sequence, report ..
 // seconds) across every entry point and concurrent batch. The swserve
 // /healthz endpoint serves this snapshot.
 func (c *Cluster) Totals() (queries int64, per []BackendTotals) {
-	q, raw := c.disp.Totals()
+	e := c.engine()
+	q, raw := e.disp.Totals()
 	per = make([]BackendTotals, len(raw))
 	for i, bt := range raw {
 		per[i] = BackendTotals{
 			Name:       bt.Name,
-			Device:     c.kinds[i],
+			Device:     e.kinds[i],
 			Grants:     bt.Grants,
 			Residues:   bt.Residues,
 			SimSeconds: bt.SimSeconds,

@@ -44,6 +44,16 @@
 // shape the coordinator's tail-latency policy; only 503 answers and
 // transport failures are retried.
 //
+// The coordinator's topology is live: a background prober (-probe-interval,
+// -probe-dead-after) tracks every node through a healthy/degraded/dead
+// state machine, fails a dead node's shards over to surviving replicas and
+// readopts the node when it answers again — without a restart. SIGHUP or
+// POST /admin/reload re-reads the manifest for a re-cut shard layout (a
+// failed reload leaves the old topology serving); POST /admin/probe forces
+// an immediate sweep; GET /healthz reports per-node health, probe latency
+// quantiles and per-shard replica routing, answering "degraded" while any
+// shard has no live replica.
+//
 // SIGINT/SIGTERM shuts down gracefully: in-flight requests get a drain
 // window; if it expires, the cluster's scheduled paths are torn down so
 // blocked handlers resolve with the retryable 503 — never a torn
@@ -91,6 +101,8 @@ func main() {
 		nodeRetries = flag.Int("node-retries", 0, "coordinator: retries per node request after a retryable failure (0 = default 2)")
 		nodeBackoff = flag.Duration("node-backoff", 0, "coordinator: initial retry backoff, doubling per attempt (0 = default 100ms)")
 		hedge       = flag.Duration("hedge", 0, "coordinator: duplicate a slow shard request to the next replica after this delay (0 disables)")
+		probeEvery  = flag.Duration("probe-interval", 0, "coordinator: background health-probe period (0 = default 15s, negative disables)")
+		deadAfter   = flag.Int("probe-dead-after", 0, "coordinator: consecutive probe failures that mark a node dead (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -159,15 +171,17 @@ func main() {
 			fatal(fmt.Errorf("-manifest (coordinator mode) requires -nodes"))
 		}
 		cl, err = heterosw.NewDistributedCluster(context.Background(), db, *manifest, nodeURLs, heterosw.DistributedOptions{
-			Options:     opt.Options,
-			MaxInFlight: *inflight,
-			BatchWindow: *window,
-			MaxBatch:    *maxBatch,
-			CacheSize:   *cacheSize,
-			Timeout:     *nodeTimeout,
-			Retries:     *nodeRetries,
-			Backoff:     *nodeBackoff,
-			HedgeDelay:  *hedge,
+			Options:        opt.Options,
+			MaxInFlight:    *inflight,
+			BatchWindow:    *window,
+			MaxBatch:       *maxBatch,
+			CacheSize:      *cacheSize,
+			Timeout:        *nodeTimeout,
+			Retries:        *nodeRetries,
+			Backoff:        *nodeBackoff,
+			HedgeDelay:     *hedge,
+			ProbeInterval:  *probeEvery,
+			ProbeDeadAfter: *deadAfter,
 		})
 		if err != nil {
 			fatal(err)
@@ -189,7 +203,14 @@ func main() {
 	fmt.Printf("swserve: %s\n", db)
 	fmt.Printf("swserve: vec backend %s\n", device.HostSIMD())
 	fmt.Printf("swserve: listening on %s\n", *listen)
-	serve(srv, *drain, cl.Close, cl.CloseNow)
+	var reload func() error
+	if *manifest != "" {
+		// SIGHUP hot-reloads the coordinator's manifest; the reload runs
+		// under its own root context because it belongs to the process, not
+		// to any request.
+		reload = func() error { return cl.ReloadManifest(context.Background()) }
+	}
+	serve(srv, *drain, cl.Close, cl.CloseNow, reload)
 }
 
 // runNode serves the shard execution protocol for the listed shard .swdb
@@ -223,21 +244,38 @@ func runNode(listen string, shardFiles []string, opt heterosw.ClusterOptions, dr
 	}
 	fmt.Printf("swserve: vec backend %s\n", device.HostSIMD())
 	fmt.Printf("swserve: node serving %d shard(s) on %s\n", len(shardFiles), listen)
-	serve(srv, drain, ss.Close, ss.CloseNow)
+	serve(srv, drain, ss.Close, ss.CloseNow, nil)
 }
 
 // serve runs the server until SIGINT/SIGTERM, then tears it down with
-// shutdownServer.
-func serve(srv *http.Server, drain time.Duration, closeFn, closeNowFn func()) {
+// shutdownServer. A non-nil reload runs on every SIGHUP (the coordinator's
+// manifest hot-reload); serving continues either way — a failed reload
+// leaves the old topology up, and the error is logged, not fatal.
+func serve(srv *http.Server, drain time.Duration, closeFn, closeNowFn func(), reload func() error) {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var hup chan os.Signal
+	if reload != nil {
+		hup = make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		fatal(err)
-	case sig := <-stop:
-		fmt.Printf("swserve: %v, draining for up to %v\n", sig, drain)
+	for {
+		select {
+		case err := <-errc:
+			fatal(err)
+		case <-hup:
+			if err := reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "swserve: reload: %v\n", err)
+			} else {
+				fmt.Println("swserve: manifest reloaded")
+			}
+			continue
+		case sig := <-stop:
+			fmt.Printf("swserve: %v, draining for up to %v\n", sig, drain)
+		}
+		break
 	}
 	if err := shutdownServer(srv, drain, closeFn, closeNowFn); err != nil {
 		fmt.Fprintf(os.Stderr, "swserve: shutdown: %v\n", err)

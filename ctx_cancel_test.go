@@ -42,13 +42,13 @@ func TestDecorateCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err = cl.decorate(ctx, q, res, ReportOptions{Alignments: true}, cl.dopt)
+	err = cl.decorate(ctx, cl.engine(), q, res, ReportOptions{Alignments: true}, cl.dopt)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled decorate: err = %v, want context.Canceled", err)
 	}
 	// The same call with a live context succeeds, so the failure above is
 	// the cancellation, not the inputs.
-	if err := cl.decorate(context.Background(), q, res, ReportOptions{Alignments: true}, cl.dopt); err != nil {
+	if err := cl.decorate(context.Background(), cl.engine(), q, res, ReportOptions{Alignments: true}, cl.dopt); err != nil {
 		t.Fatalf("live decorate: %v", err)
 	}
 	for _, h := range res.Hits {

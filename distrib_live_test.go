@@ -1,0 +1,374 @@
+package heterosw
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"heterosw/internal/remote"
+	"heterosw/internal/remote/faultproxy"
+)
+
+// The live-topology soak harness: a coordinator over fault-proxied nodes
+// is driven through node death, failover, recovery and readoption with
+// the background prober disabled (ProbeInterval -1) and every sweep
+// triggered explicitly — so each phase transition is a deterministic
+// program step, not a timing race. The invariant under test is the
+// conformance guarantee extended over failures: as long as at least one
+// live replica serves every shard, every query answers byte-identically
+// to a single-node search; when a shard loses its last replica, the
+// failure is the typed, retryable remote.ErrNoReplicas, never a wrong or
+// torn result.
+
+// liveDistribOptions is fastDistribOptions with the background prober
+// disabled and a 2-failure death threshold, so tests step the state
+// machine by explicit ProbeNodes calls.
+func liveDistribOptions() DistributedOptions {
+	opt := fastDistribOptions()
+	opt.ProbeInterval = -1
+	opt.ProbeDeadAfter = 2
+	return opt
+}
+
+// proxiedShardNode starts a shard node serving the given shard files and
+// wraps it in a fault proxy; coordinators address the proxy URL.
+func proxiedShardNode(t testing.TB, shardPaths []string) *faultproxy.Proxy {
+	t.Helper()
+	srv, _ := startShardNode(t, shardPaths, nil)
+	px, err := faultproxy.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	return px
+}
+
+// refCanon computes the single-node reference canon bytes per query.
+func refCanon(t testing.TB, parentPath string, queries []Sequence, rep ReportOptions) [][]byte {
+	t.Helper()
+	refDB, err := OpenIndexFile(parentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewCluster(refDB, distribOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.CloseNow()
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		res, err := ref.Search(q, rep)
+		if err != nil {
+			t.Fatalf("reference Search(%s): %v", q.ID(), err)
+		}
+		want[i] = canonDistrib(t, res)
+	}
+	return want
+}
+
+// nodeState reads one node's state string out of a topology snapshot.
+func nodeState(t testing.TB, topo *TopologyInfo, url string) string {
+	t.Helper()
+	for _, n := range topo.Nodes {
+		if n.URL == url {
+			return n.State
+		}
+	}
+	t.Fatalf("node %s not in topology %+v", url, topo)
+	return ""
+}
+
+// TestCoordinatorLiveTopologySoak is the tentpole soak: kill a node mid
+// sequence — zero failed queries, every result byte-identical via the
+// replicas; probe it dead — its shards fail over; kill the last replica
+// of a shard — typed retryable failure, /healthz degraded; restore —
+// re-probe readopts everything and results are again byte-identical.
+func TestCoordinatorLiveTopologySoak(t *testing.T) {
+	parentPath, manifestPath, shardPaths, queries := distribSetup(t)
+	rep := ReportOptions{Alignments: true, EValues: true, TopK: 5}
+	want := refCanon(t, parentPath, queries, rep)
+
+	pxA := proxiedShardNode(t, shardPaths) // both shards
+	pxB := proxiedShardNode(t, shardPaths[:1])
+	pxC := proxiedShardNode(t, shardPaths[1:])
+
+	parentDB, err := OpenIndexFile(parentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath,
+		[]string{pxA.URL(), pxB.URL(), pxC.URL()}, liveDistribOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.CloseNow()
+	ctx := context.Background()
+
+	checkAll := func(phase string) {
+		t.Helper()
+		for i, q := range queries {
+			res, err := coord.Search(q, rep)
+			if err != nil {
+				t.Fatalf("%s: Search(%s): %v", phase, q.ID(), err)
+			}
+			if got := canonDistrib(t, res); !bytes.Equal(got, want[i]) {
+				t.Fatalf("%s: query %s diverged from single-node:\nwant %s\ngot  %s", phase, q.ID(), want[i], got)
+			}
+		}
+	}
+
+	// Phase 1 — everything healthy.
+	checkAll("healthy")
+	topo := coord.Topology()
+	if topo.Generation != 1 || len(topo.Shards) != 2 || len(topo.Nodes) != 3 {
+		t.Fatalf("initial topology: %+v", topo)
+	}
+	for _, px := range []*faultproxy.Proxy{pxA, pxB, pxC} {
+		if s := nodeState(t, topo, px.URL()); s != "healthy" {
+			t.Fatalf("node %s state %s after construction probe, want healthy", px.URL(), s)
+		}
+	}
+	// Replica order pins the conformance routing: A leads both shards.
+	if r := topo.Shards[0].Replicas; len(r) != 2 || r[0] != pxA.URL() || r[1] != pxB.URL() {
+		t.Fatalf("shard 0 replicas %v, want [A B]", r)
+	}
+	if r := topo.Shards[1].Replicas; len(r) != 2 || r[0] != pxA.URL() || r[1] != pxC.URL() {
+		t.Fatalf("shard 1 replicas %v, want [A C]", r)
+	}
+
+	// Phase 2 — node A dies, not yet probed out: every request's first
+	// attempt hits the corpse and the retry answers from the replica.
+	// Zero failed queries, still byte-identical.
+	pxA.SetDown(true)
+	checkAll("A down, pre-probe")
+
+	// Phase 3 — two sweeps (ProbeDeadAfter) mark A dead; its shards fail
+	// over, so requests no longer touch it at all.
+	if err := coord.ProbeNodes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.ProbeNodes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	topo = coord.Topology()
+	if s := nodeState(t, topo, pxA.URL()); s != "dead" {
+		t.Fatalf("A after %d failed sweeps: %s, want dead", 2, s)
+	}
+	if r := topo.Shards[0].Replicas; len(r) != 1 || r[0] != pxB.URL() {
+		t.Fatalf("shard 0 failed over to %v, want [B]", r)
+	}
+	if r := topo.Shards[1].Replicas; len(r) != 1 || r[0] != pxC.URL() {
+		t.Fatalf("shard 1 failed over to %v, want [C]", r)
+	}
+	checkAll("A dead, failed over")
+
+	// Phase 4 — B dies too: shard 0 is uncovered. The failure is typed
+	// and retryable, and /healthz reports degraded.
+	pxB.SetDown(true)
+	if err := coord.ProbeNodes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.ProbeNodes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	topo = coord.Topology()
+	if !topo.Uncovered() {
+		t.Fatalf("shard 0 with both owners dead must be uncovered: %+v", topo.Shards)
+	}
+	_, err = coord.Search(queries[0], rep)
+	if !errors.Is(err, remote.ErrNoReplicas) {
+		t.Fatalf("uncovered shard: err = %v, want remote.ErrNoReplicas", err)
+	}
+	if !remote.Retryable(err) {
+		t.Fatalf("uncovered-shard failure must stay retryable: %v", err)
+	}
+
+	// Phase 5 — restore both; one clean sweep readopts them, the replica
+	// sets refill in preference order, and conformance holds again.
+	pxA.SetDown(false)
+	pxB.SetDown(false)
+	if err := coord.ProbeNodes(ctx); err != nil {
+		t.Fatal(err)
+	}
+	topo = coord.Topology()
+	for _, px := range []*faultproxy.Proxy{pxA, pxB, pxC} {
+		if s := nodeState(t, topo, px.URL()); s != "healthy" {
+			t.Fatalf("restored node %s state %s, want healthy", px.URL(), s)
+		}
+	}
+	if r := topo.Shards[0].Replicas; len(r) != 2 || r[0] != pxA.URL() {
+		t.Fatalf("readopted shard 0 replicas %v, want A leading", r)
+	}
+	checkAll("restored")
+}
+
+// TestCoordinatorScriptedFaultSchedule drives one query's two-shard
+// fan-out through a scripted burst of every fault class — 503, truncated
+// body, half-close, dropped connection, two of each so both shard
+// streams see faults under any interleaving — and requires the final
+// result byte-identical to single-node. The schedule is attempt-keyed:
+// no sleeps, no randomness, identical under -race and -count=20.
+func TestCoordinatorScriptedFaultSchedule(t *testing.T) {
+	parentPath, manifestPath, shardPaths, queries := distribSetup(t)
+	rep := ReportOptions{Alignments: true, EValues: true, TopK: 5}
+	want := refCanon(t, parentPath, queries[:1], rep)
+
+	px := proxiedShardNode(t, shardPaths) // one node, both shards
+	px.Match(func(r *http.Request) bool { return r.URL.Path == "/shard/search" })
+	px.Program(
+		faultproxy.Step{Act: faultproxy.Unavailable},
+		faultproxy.Step{Act: faultproxy.Unavailable},
+		faultproxy.Step{Act: faultproxy.Truncate, Bytes: 8},
+		faultproxy.Step{Act: faultproxy.Truncate, Bytes: 8},
+		faultproxy.Step{Act: faultproxy.HalfClose},
+		faultproxy.Step{Act: faultproxy.HalfClose},
+		faultproxy.Step{Act: faultproxy.Drop},
+		faultproxy.Step{Act: faultproxy.Drop},
+	)
+
+	parentDB, err := OpenIndexFile(parentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := liveDistribOptions()
+	// 8 scripted faults across two shard streams: under the worst
+	// interleaving one stream absorbs all 8 before its first success, so
+	// the budget must cover that and the outcome stays deterministic.
+	opt.Retries = 8
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath, []string{px.URL()}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.CloseNow()
+
+	res, err := coord.Search(queries[0], rep)
+	if err != nil {
+		t.Fatalf("search through the fault schedule: %v", err)
+	}
+	if got := canonDistrib(t, res); !bytes.Equal(got, want[0]) {
+		t.Fatalf("faulted result diverged from single-node:\nwant %s\ngot  %s", want[0], got)
+	}
+	// Every scripted fault was consumed, then both streams passed: 10
+	// matched attempts exactly, whatever the interleaving.
+	counts := map[faultproxy.Action]int{}
+	for _, a := range px.Log() {
+		counts[a]++
+	}
+	wantCounts := map[faultproxy.Action]int{
+		faultproxy.Unavailable: 2,
+		faultproxy.Truncate:    2,
+		faultproxy.HalfClose:   2,
+		faultproxy.Drop:        2,
+		faultproxy.Pass:        2,
+	}
+	for act, n := range wantCounts {
+		if counts[act] != n {
+			t.Fatalf("fault log %v: %d x %s, want %d", px.Log(), counts[act], act, n)
+		}
+	}
+}
+
+// TestCoordinatorTopologyRacesQueries runs a concurrent query load while
+// a node is repeatedly killed, probed out, revived and readopted. Every
+// query must succeed byte-identically — node A covers both shards
+// throughout, so the churn on node C must never surface to a caller —
+// and the -race build must stay silent over the topology swaps.
+func TestCoordinatorTopologyRacesQueries(t *testing.T) {
+	parentPath, manifestPath, shardPaths, queries := distribSetup(t)
+	rep := ReportOptions{Alignments: true, EValues: true, TopK: 5}
+	want := refCanon(t, parentPath, queries, rep)
+
+	pxA := proxiedShardNode(t, shardPaths) // both shards, always up
+	pxC := proxiedShardNode(t, shardPaths[1:])
+
+	parentDB, err := OpenIndexFile(parentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewDistributedCluster(context.Background(), parentDB, manifestPath,
+		[]string{pxA.URL(), pxC.URL()}, liveDistribOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.CloseNow()
+
+	workers, perWorker, churns := 4, 6, 8
+	if testing.Short() {
+		workers, perWorker, churns = 2, 3, 3
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				qi := (w + i) % len(queries)
+				res, err := coord.Search(queries[qi], rep)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+					return
+				}
+				if got := canonDistrib(t, res); !bytes.Equal(got, want[qi]) {
+					errc <- fmt.Errorf("worker %d query %d: result diverged under churn", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	ctx := context.Background()
+	for i := 0; i < churns; i++ {
+		pxC.SetDown(true)
+		if err := coord.ProbeNodes(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.ProbeNodes(ctx); err != nil {
+			t.Fatal(err)
+		}
+		pxC.SetDown(false)
+		if err := coord.ProbeNodes(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// After the final revival sweep the churned node must be readopted.
+	if s := nodeState(t, coord.Topology(), pxC.URL()); s != "healthy" {
+		t.Fatalf("churned node finished %s, want healthy", s)
+	}
+}
+
+// TestCoordinatorConstructionProbeFailureText pins the construction
+// diagnostics through the concurrent prober: an unreachable node folds
+// its probe failure into the unowned-shard error, URL and all.
+func TestCoordinatorConstructionProbeFailureText(t *testing.T) {
+	parentPath, manifestPath, shardPaths, _ := distribSetup(t)
+	pxB := proxiedShardNode(t, shardPaths[:1]) // shard 0 only
+	pxDead := proxiedShardNode(t, shardPaths[1:])
+	pxDead.SetDown(true) // shard 1's only owner is unreachable
+
+	parentDB, err := OpenIndexFile(parentPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewDistributedCluster(context.Background(), parentDB, manifestPath,
+		[]string{pxB.URL(), pxDead.URL()}, liveDistribOptions())
+	if err == nil {
+		t.Fatal("construction with shard 1 unowned must fail")
+	}
+	msg := err.Error()
+	if !bytes.Contains([]byte(msg), []byte("no node serves shard")) {
+		t.Fatalf("error should name the unowned shard, got: %v", err)
+	}
+	if !bytes.Contains([]byte(msg), []byte("node probe(s) failed")) ||
+		!bytes.Contains([]byte(msg), []byte(pxDead.URL())) {
+		t.Fatalf("error should fold in the failed probe with its URL, got: %v", err)
+	}
+}

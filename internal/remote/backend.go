@@ -16,18 +16,26 @@ import (
 // it is handed (always its own fixed shard under a sharded dispatcher)
 // and AlignShard fans tracebacks out to the node holding the shard bytes.
 type Backend struct {
-	name   string
-	client *Client
-	urls   []string
-	model  *device.Model
+	name     string
+	client   *Client
+	replicas *ReplicaSet
+	model    *device.Model
 }
 
-// NewBackend builds a backend over one shard's replica URLs. model is the
-// device model the planner should assume for the remote node; it has no
-// effect under a fixed shard assignment (the cut is the plan) but keeps
-// the Backend contract total.
+// NewBackend builds a backend over one shard's fixed replica URLs. model
+// is the device model the planner should assume for the remote node; it
+// has no effect under a fixed shard assignment (the cut is the plan) but
+// keeps the Backend contract total.
 func NewBackend(name string, client *Client, urls []string, model *device.Model) *Backend {
-	return &Backend{name: name, client: client, urls: urls, model: model}
+	return NewBackendSet(name, client, NewReplicaSet(urls), model)
+}
+
+// NewBackendSet builds a backend over a live replica set: each request
+// snapshots the set's current URLs, so the coordinator's health prober
+// can rewrite shard ownership — failover, readoption, rebalance — under
+// running traffic without touching the backend.
+func NewBackendSet(name string, client *Client, replicas *ReplicaSet, model *device.Model) *Backend {
+	return &Backend{name: name, client: client, replicas: replicas, model: model}
 }
 
 // Name implements core.Backend.
@@ -41,8 +49,8 @@ func (b *Backend) Model() *device.Model { return b.model }
 // search, so the static capability is 0.
 func (b *Backend) Threads() int { return 0 }
 
-// URLs returns the replica URLs this backend routes to.
-func (b *Backend) URLs() []string { return b.urls }
+// URLs returns a snapshot of the replica URLs this backend routes to.
+func (b *Backend) URLs() []string { return b.replicas.URLs() }
 
 // residueBytes copies encoded residues into wire bytes. alphabet.Code is
 // a uint8, so this is a widening-free copy, not a re-encode — the node
@@ -61,7 +69,7 @@ func residueBytes(codes []alphabet.Code) []byte {
 // so operators must configure nodes and coordinator identically (see the
 // README's distributed serving contract).
 func (b *Backend) Search(ctx context.Context, db *seqdb.Database, query *sequence.Sequence, opt core.SearchOptions) (*core.Result, error) {
-	resp, err := b.client.ShardSearch(ctx, b.urls, &ShardSearchRequest{
+	resp, err := b.client.ShardSearch(ctx, b.replicas.URLs(), &ShardSearchRequest{
 		Shard: db.Key(),
 		ID:    query.ID,
 		Codes: residueBytes(query.Residues),
@@ -100,7 +108,7 @@ func (b *Backend) AlignShard(ctx context.Context, query *sequence.Sequence, shar
 		req.Indices[i] = h.SeqIndex
 		req.Scores[i] = h.Score
 	}
-	resp, err := b.client.ShardAlign(ctx, b.urls, req)
+	resp, err := b.client.ShardAlign(ctx, b.replicas.URLs(), req)
 	if err != nil {
 		return nil, fmt.Errorf("remote: backend %s: %w", b.name, err)
 	}

@@ -40,6 +40,12 @@ type Options struct {
 	// primary has not answered within the delay; the first success wins
 	// and the loser is cancelled. 0 disables hedging.
 	HedgeDelay time.Duration
+	// OnFailure, when non-nil, is called with the primary URL of every
+	// retryable attempt failure (the caller's context still being live).
+	// The coordinator wires it to the health prober's Kick, so a node
+	// failing real traffic is re-probed immediately instead of at the
+	// next periodic sweep. It must not block.
+	OnFailure func(url string, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -125,7 +131,7 @@ func (c *Client) ShardAlign(ctx context.Context, urls []string, req *ShardAlignR
 // (or a dead caller context) stop immediately.
 func (c *Client) do(ctx context.Context, urls []string, path string, reqBody, respBody any) error {
 	if len(urls) == 0 {
-		return fmt.Errorf("remote: no replicas for %s", path)
+		return fmt.Errorf("%w for %s", ErrNoReplicas, path)
 	}
 	body, err := json.Marshal(reqBody)
 	if err != nil {
@@ -151,6 +157,9 @@ func (c *Client) do(ctx context.Context, urls []string, path string, reqBody, re
 		lastErr = err
 		if !Retryable(err) || ctx.Err() != nil {
 			return err
+		}
+		if c.opt.OnFailure != nil {
+			c.opt.OnFailure(urls[a%len(urls)], err)
 		}
 	}
 	return fmt.Errorf("remote: %s failed after %d attempts: %w", path, attempts, lastErr)

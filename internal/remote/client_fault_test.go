@@ -1,0 +1,153 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"heterosw/internal/remote/faultproxy"
+)
+
+// The client half of the fault-injection matrix: every scripted fault
+// class must be classified retryable and survived within the retry
+// budget, and the OnFailure hook must see each retryable failure with
+// the URL it struck.
+
+// searchUpstream answers /shard/search with a fixed score body.
+func searchUpstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"scores":[7,8,9]}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func faultedClientProxy(t *testing.T) *faultproxy.Proxy {
+	t.Helper()
+	up := searchUpstream(t)
+	p, err := faultproxy.New(up.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestClientSurvivesScriptedFaults drives one scripted fault of each
+// class ahead of a clean pass: every attempt must be classified
+// retryable, and the final retry must deliver the upstream's answer
+// unchanged. The schedule is attempt-keyed, so the test replays
+// identically under -race and -count=20.
+func TestClientSurvivesScriptedFaults(t *testing.T) {
+	px := faultedClientProxy(t)
+	px.Program(
+		faultproxy.Step{Act: faultproxy.Unavailable},
+		faultproxy.Step{Act: faultproxy.Drop},
+		faultproxy.Step{Act: faultproxy.Truncate, Bytes: 4},
+		faultproxy.Step{Act: faultproxy.HalfClose},
+		faultproxy.Step{Act: faultproxy.Pass},
+	)
+	c := fastClient(Options{Retries: 4})
+	resp, err := c.ShardSearch(context.Background(), []string{px.URL()}, searchReq())
+	if err != nil {
+		t.Fatalf("ShardSearch through the fault schedule: %v", err)
+	}
+	if len(resp.Scores) != 3 || resp.Scores[0] != 7 {
+		t.Fatalf("scores %v survived the faults wrong", resp.Scores)
+	}
+	want := []faultproxy.Action{faultproxy.Unavailable, faultproxy.Drop, faultproxy.Truncate, faultproxy.HalfClose, faultproxy.Pass}
+	log := px.Log()
+	if len(log) != len(want) {
+		t.Fatalf("proxy log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("proxy log %v, want %v", log, want)
+		}
+	}
+}
+
+// TestClientFailsUnderBudget pins that the same schedule with one fewer
+// retry surfaces the last failure instead of the answer — the budget is
+// real, not advisory.
+func TestClientFailsUnderBudget(t *testing.T) {
+	px := faultedClientProxy(t)
+	px.Program(
+		faultproxy.Step{Act: faultproxy.Unavailable},
+		faultproxy.Step{Act: faultproxy.Drop},
+		faultproxy.Step{Act: faultproxy.Pass},
+	)
+	c := fastClient(Options{Retries: 1})
+	if _, err := c.ShardSearch(context.Background(), []string{px.URL()}, searchReq()); err == nil {
+		t.Fatal("two scripted faults must exhaust a 1-retry budget")
+	}
+	if got := px.Attempts(); got != 2 {
+		t.Fatalf("proxy saw %d attempts, want exactly 2 (1 + 1 retry)", got)
+	}
+}
+
+// TestOnFailureHook pins the health-feedback contract: every retryable
+// attempt failure invokes OnFailure with the URL the attempt targeted,
+// terminal failures do not, and the final success never does.
+func TestOnFailureHook(t *testing.T) {
+	px := faultedClientProxy(t)
+	px.Program(
+		faultproxy.Step{Act: faultproxy.Unavailable},
+		faultproxy.Step{Act: faultproxy.Drop},
+		faultproxy.Step{Act: faultproxy.Pass},
+	)
+	var failed []string
+	c := fastClient(Options{
+		Retries:   2,
+		OnFailure: func(url string, err error) { failed = append(failed, url) },
+	})
+	if _, err := c.ShardSearch(context.Background(), []string{px.URL()}, searchReq()); err != nil {
+		t.Fatalf("ShardSearch: %v", err)
+	}
+	if len(failed) != 2 || failed[0] != px.URL() || failed[1] != px.URL() {
+		t.Fatalf("OnFailure saw %v, want the proxy URL twice", failed)
+	}
+}
+
+// TestOnFailureSkipsTerminal pins the other half: a terminal status (400)
+// aborts the retry loop without notifying OnFailure — the node answered,
+// it is not unhealthy.
+func TestOnFailureSkipsTerminal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad request"}`)
+	}))
+	defer srv.Close()
+	calls := 0
+	c := fastClient(Options{
+		Retries:   3,
+		OnFailure: func(url string, err error) { calls++ },
+	})
+	_, err := c.ShardSearch(context.Background(), []string{srv.URL}, searchReq())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("want terminal 400, got %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("OnFailure ran %d times for a terminal failure, want 0", calls)
+	}
+}
+
+// TestEmptyReplicasIsTypedRetryable pins the uncovered-shard error: a
+// request against zero replicas fails with ErrNoReplicas, classified
+// retryable, so callers keep retrying while the prober refills the set.
+func TestEmptyReplicasIsTypedRetryable(t *testing.T) {
+	c := fastClient(Options{})
+	_, err := c.ShardSearch(context.Background(), nil, searchReq())
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("want ErrNoReplicas, got %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("ErrNoReplicas must classify retryable, got terminal: %v", err)
+	}
+}

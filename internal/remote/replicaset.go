@@ -1,0 +1,39 @@
+package remote
+
+import "sync"
+
+// ReplicaSet is the mutable list of node URLs serving one shard. A
+// Backend reads a snapshot per request; the coordinator's health prober
+// rewrites the list as nodes die, recover or start reporting the shard —
+// that swap is the whole failover mechanism, so in-flight requests keep
+// the replica order they started with and never observe a half-written
+// list.
+type ReplicaSet struct {
+	mu sync.Mutex
+	//sw:guardedBy(mu)
+	urls []string
+}
+
+// NewReplicaSet builds a replica set over an initial URL list.
+func NewReplicaSet(urls []string) *ReplicaSet {
+	r := &ReplicaSet{}
+	r.Set(urls)
+	return r
+}
+
+// URLs returns a snapshot of the current replica URLs. The returned slice
+// is the caller's to keep: Set never mutates a previously returned slice.
+func (r *ReplicaSet) URLs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.urls
+}
+
+// Set replaces the replica list atomically. The slice is copied, so the
+// caller may reuse its argument.
+func (r *ReplicaSet) Set(urls []string) {
+	cp := append([]string(nil), urls...)
+	r.mu.Lock()
+	r.urls = cp
+	r.mu.Unlock()
+}

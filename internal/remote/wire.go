@@ -116,6 +116,14 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// ErrNoReplicas reports a request against a shard whose replica set is
+// currently empty: every node that served it is dead (or was never
+// probed successfully). It is retryable by classification — the prober
+// readopts a recovering node and refills the set without a coordinator
+// restart — so front ends map it to 503, telling clients to retry
+// exactly as they would against a draining node.
+var ErrNoReplicas = errors.New("remote: no live replicas")
+
 // StatusError is a non-200 node answer, carrying the HTTP status the
 // retry policy classifies on.
 type StatusError struct {
@@ -139,6 +147,8 @@ func (e *StatusError) Error() string {
 // request, unavailable node" (draining, shard cluster closed). Everything
 // else — 400s, 404 unknown shard, 500 — reports a request that cannot
 // succeed as posed, and retrying would only amplify the failure.
+// ErrNoReplicas is retryable too (no StatusError to classify): the
+// prober refills an emptied replica set when a node recovers.
 func Retryable(err error) bool {
 	var se *StatusError
 	if errors.As(err, &se) {

@@ -10,6 +10,7 @@ import (
 
 	"heterosw/internal/device"
 	"heterosw/internal/qsched"
+	"heterosw/internal/remote"
 	"heterosw/internal/vec"
 )
 
@@ -144,7 +145,10 @@ type BackendJSON struct {
 	Tracebacks int64   `json:"tracebacks"`
 }
 
-// HealthJSON is the /healthz response.
+// HealthJSON is the /healthz response. Status is "ok", or "degraded" on
+// a distributed coordinator with at least one shard down to zero live
+// replicas — the signal a load balancer rotates on while the shard still
+// answers retryable 503s.
 type HealthJSON struct {
 	Status        string          `json:"status"`
 	Sequences     int             `json:"sequences"`
@@ -165,6 +169,11 @@ type HealthJSON struct {
 		Misses  int64 `json:"misses"`
 		Entries int   `json:"entries"`
 	} `json:"cache"`
+	// Topology is the live-topology snapshot of a distributed
+	// coordinator — per-node health states, probe latency quantiles,
+	// failure streaks and per-shard replica routing; absent on a local
+	// cluster.
+	Topology *TopologyInfo `json:"topology,omitempty"`
 }
 
 // errorJSON is the error response body.
@@ -188,6 +197,8 @@ func NewHTTPHandler(c *Cluster) http.Handler {
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/admin/probe", s.handleProbe)
 	return mux
 }
 
@@ -546,6 +557,15 @@ func searchStatus(r *http.Request, err error) int {
 	if errors.Is(err, ErrClusterClosed) {
 		return http.StatusServiceUnavailable
 	}
+	// A coordinator whose shard lost every live replica — or whose node
+	// answered its own retryable 503 through the retry budget — passes the
+	// retryable condition to its caller: the prober refills the replica
+	// set when a node recovers, so clients should retry here too.
+	var se *remote.StatusError
+	if errors.Is(err, remote.ErrNoReplicas) ||
+		(errors.As(err, &se) && se.Code == http.StatusServiceUnavailable) {
+		return http.StatusServiceUnavailable
+	}
 	if rerr := r.Context().Err(); rerr != nil && errors.Is(err, rerr) {
 		return http.StatusRequestTimeout
 	}
@@ -600,5 +620,59 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h.Cache.Hits = hits
 	h.Cache.Misses = misses
 	h.Cache.Entries = entries
+	if topo := s.c.Topology(); topo != nil {
+		h.Topology = topo
+		if topo.Uncovered() {
+			h.Status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// reloadJSON is the /admin/reload success response.
+type reloadJSON struct {
+	Status     string `json:"status"`
+	Generation int    `json:"generation"`
+}
+
+// handleReload is POST /admin/reload: re-read the coordinator's manifest
+// and swap the serving topology onto the new shard cut (the HTTP twin of
+// SIGHUP; see Cluster.ReloadManifest for the all-or-nothing semantics).
+// Answers 404 on a non-distributed cluster, 409 when the incoming
+// manifest fails validation or leaves a shard unowned — the old topology
+// keeps serving in that case, and the body says why.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.c.Topology() == nil {
+		writeError(w, http.StatusNotFound, errors.New("not a distributed coordinator"))
+		return
+	}
+	if err := s.c.ReloadManifest(r.Context()); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadJSON{Status: "ok", Generation: s.c.Topology().Generation})
+}
+
+// handleProbe is POST /admin/probe: run one synchronous health-probe
+// sweep over the node roster and answer with the resulting topology
+// snapshot — the operator's "re-check now" next to the background
+// prober's periodic sweeps.
+func (s *server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.c.Topology() == nil {
+		writeError(w, http.StatusNotFound, errors.New("not a distributed coordinator"))
+		return
+	}
+	if err := s.c.ProbeNodes(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.c.Topology())
 }

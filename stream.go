@@ -323,6 +323,9 @@ func (c *Cluster) Close() {
 	if ds != nil {
 		ds.Close()
 	}
+	if c.topo != nil {
+		c.topo.prober.Stop()
+	}
 }
 
 // CloseNow tears down the cluster's scheduled paths: the default streaming
@@ -340,5 +343,8 @@ func (c *Cluster) CloseNow() {
 	}
 	if s != nil {
 		s.CloseNow()
+	}
+	if c.topo != nil {
+		c.topo.prober.Stop()
 	}
 }

@@ -91,12 +91,13 @@ func (c *Cluster) searchTranslated(ctx context.Context, query Sequence, dopt cor
 		return nil, fmt.Errorf("heterosw: query %s is too short to translate (%d nt)",
 			query.ID(), query.Len())
 	}
-	res, err := c.disp.SearchBatchContext(ctx, impls, dopt)
+	e := c.engine()
+	res, err := e.disp.SearchBatchContext(ctx, impls, dopt)
 	if err != nil {
 		return nil, err
 	}
-	merged, frameOf := c.mergeFrames(res, used)
-	if err := c.decorateTranslated(ctx, impls, used, frameOf, merged, rep, dopt); err != nil {
+	merged, frameOf := c.mergeFrames(e, res, used)
+	if err := c.decorateTranslated(ctx, e, impls, used, frameOf, merged, rep, dopt); err != nil {
 		return nil, err
 	}
 	return merged, nil
@@ -108,11 +109,11 @@ func (c *Cluster) searchTranslated(ctx context.Context, query Sequence, dopt cor
 // merged scores with the cluster-wide truncation. The second return value
 // maps each database index to the index (into frames) of its winning
 // frame.
-func (c *Cluster) mergeFrames(res []*core.ClusterResult, frames []*translate.Frame) (*ClusterResult, []int) {
-	merged := c.wrap(res[0])
+func (c *Cluster) mergeFrames(e *engineState, res []*core.ClusterResult, frames []*translate.Frame) (*ClusterResult, []int) {
+	merged := c.wrap(e, res[0])
 	frameOf := make([]int, len(merged.Scores))
 	for i := 1; i < len(res); i++ {
-		w := c.wrap(res[i])
+		w := c.wrap(e, res[i])
 		for s, v := range w.Scores {
 			if v > merged.Scores[s] {
 				merged.Scores[s] = v
@@ -158,7 +159,7 @@ func (c *Cluster) translatedHits(scores []int, frames []*translate.Frame, frameO
 // same trim and significance rules, with the traceback phase fanned out
 // per winning frame so every hit is re-aligned against the frame that
 // produced its score, then mapped back to nucleotide coordinates.
-func (c *Cluster) decorateTranslated(ctx context.Context, impls []*sequence.Sequence,
+func (c *Cluster) decorateTranslated(ctx context.Context, e *engineState, impls []*sequence.Sequence,
 	frames []*translate.Frame, frameOf []int, res *ClusterResult, rep ReportOptions,
 	dopt core.DispatchOptions) error {
 	if rep == (ReportOptions{}) {
@@ -201,7 +202,7 @@ func (c *Cluster) decorateTranslated(ctx context.Context, impls []*sequence.Sequ
 				h := res.Hits[i]
 				hits[j] = core.Hit{SeqIndex: h.Index, ID: h.ID, Score: int32(h.Score)}
 			}
-			details, err := c.disp.AlignHits(ctx, impls[fi], hits, dopt)
+			details, err := e.disp.AlignHits(ctx, impls[fi], hits, dopt)
 			if err != nil {
 				return err
 			}
